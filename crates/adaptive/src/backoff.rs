@@ -1,0 +1,132 @@
+//! Exponential backoff.
+//!
+//! The retry discipline behind TCP retransmission and the paper's SunRPC
+//! example: "many implementations respond to refused connections with an
+//! exponential backoff which retries 7 times, doubling the initial 500 ms
+//! timeout each iteration. Thus, recovering from a typing error can take
+//! over a minute!" (§2.2.2).
+
+use simtime::SimDuration;
+
+/// A capped exponential backoff sequence.
+#[derive(Debug, Clone)]
+pub struct ExponentialBackoff {
+    initial: SimDuration,
+    factor: f64,
+    cap: SimDuration,
+    current: SimDuration,
+    steps: u32,
+}
+
+impl ExponentialBackoff {
+    /// Creates a backoff starting at `initial`, multiplying by `factor`
+    /// each step, capped at `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    pub fn new(initial: SimDuration, factor: f64, cap: SimDuration) -> Self {
+        assert!(factor >= 1.0, "backoff factor must be >= 1, got {factor}");
+        ExponentialBackoff {
+            initial,
+            factor,
+            cap,
+            current: initial,
+            steps: 0,
+        }
+    }
+
+    /// The SunRPC discipline from the paper: 500 ms initial, doubling.
+    pub fn sunrpc() -> Self {
+        ExponentialBackoff::new(
+            SimDuration::from_millis(500),
+            2.0,
+            SimDuration::from_secs(64),
+        )
+    }
+
+    /// The current value without advancing.
+    pub fn current(&self) -> SimDuration {
+        self.current
+    }
+
+    /// Steps taken since the last reset.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Advances the backoff, returning the *new* value.
+    pub fn advance(&mut self) -> SimDuration {
+        self.current = self.current.mul_f64(self.factor).min(self.cap);
+        self.steps += 1;
+        self.current
+    }
+
+    /// Resets to the initial value.
+    pub fn reset(&mut self) {
+        self.current = self.initial;
+        self.steps = 0;
+    }
+
+    /// Resets to a new base value (adaptive re-anchoring).
+    pub fn reset_to(&mut self, base: SimDuration) {
+        self.current = base.min(self.cap);
+        self.steps = 0;
+    }
+
+    /// Total time consumed by `n` attempts that each wait out the current
+    /// value before advancing (the §2.2.2 recovery-latency calculation).
+    pub fn total_after(initial: SimDuration, factor: f64, cap: SimDuration, n: u32) -> SimDuration {
+        let mut b = ExponentialBackoff::new(initial, factor, cap);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..n {
+            total += b.current();
+            b.advance();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_and_caps() {
+        let mut b = ExponentialBackoff::new(
+            SimDuration::from_millis(100),
+            2.0,
+            SimDuration::from_millis(500),
+        );
+        assert_eq!(b.current(), SimDuration::from_millis(100));
+        assert_eq!(b.advance(), SimDuration::from_millis(200));
+        assert_eq!(b.advance(), SimDuration::from_millis(400));
+        assert_eq!(b.advance(), SimDuration::from_millis(500));
+        assert_eq!(b.advance(), SimDuration::from_millis(500));
+        assert_eq!(b.steps(), 4);
+    }
+
+    #[test]
+    fn sunrpc_seven_retries_take_over_a_minute() {
+        // 0.5 + 1 + 2 + 4 + 8 + 16 + 32 = 63.5 s — the paper's "over a
+        // minute" number.
+        let total = ExponentialBackoff::total_after(
+            SimDuration::from_millis(500),
+            2.0,
+            SimDuration::from_secs(64),
+            7,
+        );
+        assert_eq!(total, SimDuration::from_millis(63_500));
+        assert!(total > SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let mut b = ExponentialBackoff::sunrpc();
+        b.advance();
+        b.advance();
+        b.reset();
+        assert_eq!(b.current(), SimDuration::from_millis(500));
+        assert_eq!(b.steps(), 0);
+    }
+}

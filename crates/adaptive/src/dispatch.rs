@@ -1,0 +1,394 @@
+//! A timer-less application dispatcher (Section 5.5).
+//!
+//! "The timer interface, when used in these ways, is telling the kernel
+//! which piece of code to run when. The kernel also has another subsystem
+//! dedicated to implementing this type of policy: the CPU scheduler."
+//! The paper's closing proposal is an application interface to the
+//! scheduler that *subsumes* the timer interface: programs declare
+//! intents (run this periodically / guard this scope / wake me after),
+//! each with explicit precision, and one dispatcher computes the minimal
+//! wakeup schedule that satisfies all of them — along the lines of
+//! scheduler activations.
+//!
+//! [`Dispatcher`] implements that design over virtual time. Each of the
+//! paper's §5.4 use cases becomes a declarative [`Intent`]; the
+//! dispatcher batches compatible deadlines (via the same greedy interval
+//! stabbing as [`crate::Coalescer`]) and reports how many hardware timer
+//! programmings the unified view saves over one-timer-per-use.
+
+use std::collections::HashMap;
+
+use simtime::{SimDuration, SimInstant};
+
+/// A declared scheduling intent — what to run, when, and how precisely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Intent {
+    /// Run every `period`, with `slack` of acceptable deviation per tick
+    /// (anchored to a drift-free grid).
+    Periodic {
+        /// The period.
+        period: SimDuration,
+        /// Acceptable deviation either side of each grid point.
+        slack: SimDuration,
+    },
+    /// Fail-safe: fire at exactly `deadline` unless completed first.
+    Timeout {
+        /// The hard deadline.
+        deadline: SimInstant,
+    },
+    /// Fire if not patted within `window` (deadline slides on activity).
+    Watchdog {
+        /// The inactivity window.
+        window: SimDuration,
+    },
+    /// Run once, any time in `[after, after + slack]`.
+    Delay {
+        /// Earliest acceptable instant.
+        after: SimInstant,
+        /// How much later is still acceptable.
+        slack: SimDuration,
+    },
+}
+
+/// Identity of a registered intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntentId(pub u64);
+
+/// One scheduled dispatch: the CPU wakes once and runs all of `fired`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// The wakeup instant.
+    pub at: SimInstant,
+    /// Intents served by this wakeup.
+    pub fired: Vec<IntentId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Registered {
+    intent: Intent,
+    /// For periodics: ticks delivered; for watchdogs: current deadline.
+    ticks: u64,
+    watchdog_deadline: Option<SimInstant>,
+    registered_at: SimInstant,
+}
+
+/// The unified dispatcher.
+#[derive(Debug, Default)]
+pub struct Dispatcher {
+    intents: HashMap<IntentId, Registered>,
+    next_id: u64,
+    now: SimInstant,
+    /// Wakeups performed (each costs one hardware timer programming and
+    /// one idle-exit).
+    pub wakeups: u64,
+    /// Intent firings delivered.
+    pub deliveries: u64,
+}
+
+impl Dispatcher {
+    /// Creates an empty dispatcher at boot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an intent, returning its id.
+    pub fn register(&mut self, now: SimInstant, intent: Intent) -> IntentId {
+        let id = IntentId(self.next_id);
+        self.next_id += 1;
+        let watchdog_deadline = match intent {
+            Intent::Watchdog { window } => Some(now + window),
+            _ => None,
+        };
+        self.intents.insert(
+            id,
+            Registered {
+                intent,
+                ticks: 0,
+                watchdog_deadline,
+                registered_at: now,
+            },
+        );
+        id
+    }
+
+    /// Completes (cancels) an intent: the timeout's guarded operation
+    /// finished, the delay is no longer wanted.
+    pub fn complete(&mut self, id: IntentId) -> bool {
+        self.intents.remove(&id).is_some()
+    }
+
+    /// The guarded code path executed: slide a watchdog's deadline.
+    pub fn pat(&mut self, id: IntentId, now: SimInstant) -> bool {
+        match self.intents.get_mut(&id) {
+            Some(r) => match r.intent {
+                Intent::Watchdog { window } => {
+                    r.watchdog_deadline = Some(now + window);
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Number of live intents.
+    pub fn len(&self) -> usize {
+        self.intents.len()
+    }
+
+    /// Returns `true` if no intents are registered.
+    pub fn is_empty(&self) -> bool {
+        self.intents.is_empty()
+    }
+
+    /// The `[earliest, latest]` window of an intent's next firing.
+    fn window_of(&self, r: &Registered) -> Option<(SimInstant, SimInstant)> {
+        match r.intent {
+            Intent::Periodic { period, slack } => {
+                let ideal = r.registered_at + period * (r.ticks + 1);
+                let earliest =
+                    SimInstant::from_nanos(ideal.as_nanos().saturating_sub(slack.as_nanos()));
+                Some((earliest, ideal + slack))
+            }
+            Intent::Timeout { deadline } => Some((deadline, deadline)),
+            Intent::Watchdog { .. } => r.watchdog_deadline.map(|d| (d, d)),
+            Intent::Delay { after, slack } => Some((after, after + slack)),
+        }
+    }
+
+    /// Plans the next single wakeup: the earliest *latest-edge* among all
+    /// windows, serving every intent whose window contains it.
+    pub fn next_dispatch(&self) -> Option<Dispatch> {
+        let mut ids: Vec<(IntentId, SimInstant, SimInstant)> = self
+            .intents
+            .iter()
+            .filter_map(|(&id, r)| self.window_of(r).map(|(e, l)| (id, e, l)))
+            .collect();
+        if ids.is_empty() {
+            return None;
+        }
+        ids.sort_by_key(|&(id, _, latest)| (latest, id));
+        let point = ids[0].2;
+        let mut fired: Vec<IntentId> = ids
+            .iter()
+            .filter(|&&(_, earliest, _)| earliest <= point)
+            .map(|&(id, _, _)| id)
+            .collect();
+        fired.sort();
+        Some(Dispatch { at: point, fired })
+    }
+
+    /// Advances to `now`, performing every due dispatch; returns them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time runs backwards.
+    pub fn advance_to(&mut self, now: SimInstant) -> Vec<Dispatch> {
+        assert!(now >= self.now, "dispatcher time must be monotone");
+        let mut out = Vec::new();
+        while let Some(d) = self.next_dispatch() {
+            if d.at > now {
+                break;
+            }
+            self.wakeups += 1;
+            for &id in &d.fired {
+                self.deliveries += 1;
+                let Some(r) = self.intents.get_mut(&id) else {
+                    continue;
+                };
+                match r.intent {
+                    Intent::Periodic { .. } => {
+                        // Drift-free: credit every grid tick covered.
+                        r.ticks += 1;
+                    }
+                    Intent::Timeout { .. } | Intent::Delay { .. } => {
+                        self.intents.remove(&id);
+                    }
+                    Intent::Watchdog { window } => {
+                        // Fired: restart the window (the failure handler
+                        // ran; monitoring continues).
+                        r.watchdog_deadline = Some(d.at + window);
+                    }
+                }
+            }
+            out.push(d);
+        }
+        self.now = now;
+        out
+    }
+
+    /// Wakeups a one-timer-per-intent implementation would have used for
+    /// the same deliveries (every firing is its own wakeup).
+    pub fn naive_wakeups(&self) -> u64 {
+        self.deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimInstant {
+        SimInstant::BOOT + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn compatible_periodics_share_wakeups() {
+        let mut d = Dispatcher::new();
+        // Three 100 ms periodics with 30 ms slack, phase-shifted.
+        d.register(
+            at(0),
+            Intent::Periodic {
+                period: SimDuration::from_millis(100),
+                slack: SimDuration::from_millis(30),
+            },
+        );
+        d.register(
+            at(10),
+            Intent::Periodic {
+                period: SimDuration::from_millis(100),
+                slack: SimDuration::from_millis(30),
+            },
+        );
+        d.register(
+            at(20),
+            Intent::Periodic {
+                period: SimDuration::from_millis(100),
+                slack: SimDuration::from_millis(30),
+            },
+        );
+        // Batched rounds land at the first latest-edge (130, 230, …); ten
+        // rounds complete by 1030 ms.
+        let dispatches = d.advance_to(at(1_060));
+        assert_eq!(d.deliveries, 30, "10 ticks each");
+        // Batching: far fewer wakeups than deliveries.
+        assert!(
+            d.wakeups <= 12,
+            "wakeups = {} for {} deliveries ({} dispatches)",
+            d.wakeups,
+            d.deliveries,
+            dispatches.len()
+        );
+        assert!(d.wakeups < d.naive_wakeups());
+    }
+
+    #[test]
+    fn exact_timeout_fires_alone_and_once() {
+        let mut d = Dispatcher::new();
+        let id = d.register(at(0), Intent::Timeout { deadline: at(500) });
+        assert!(d.advance_to(at(499)).is_empty());
+        let fired = d.advance_to(at(500));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired, vec![id]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn completed_timeout_never_fires() {
+        let mut d = Dispatcher::new();
+        let id = d.register(at(0), Intent::Timeout { deadline: at(500) });
+        assert!(d.complete(id));
+        assert!(d.advance_to(at(1_000)).is_empty());
+        assert_eq!(d.wakeups, 0);
+    }
+
+    #[test]
+    fn watchdog_slides_with_pats() {
+        let mut d = Dispatcher::new();
+        let id = d.register(
+            at(0),
+            Intent::Watchdog {
+                window: SimDuration::from_millis(300),
+            },
+        );
+        for ms in [100u64, 200, 300, 400] {
+            assert!(d.advance_to(at(ms)).is_empty());
+            assert!(d.pat(id, at(ms)));
+        }
+        // Silence after the last pat: fires at 400 + 300.
+        let fired = d.advance_to(at(800));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].at, at(700));
+    }
+
+    #[test]
+    fn delay_fires_within_slack_window() {
+        let mut d = Dispatcher::new();
+        d.register(
+            at(0),
+            Intent::Delay {
+                after: at(100),
+                slack: SimDuration::from_millis(50),
+            },
+        );
+        d.register(
+            at(0),
+            Intent::Delay {
+                after: at(120),
+                slack: SimDuration::from_millis(50),
+            },
+        );
+        let fired = d.advance_to(at(200));
+        // Both share the single wakeup at the first latest-edge (150 ms).
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].at, at(150));
+        assert_eq!(fired[0].fired.len(), 2);
+    }
+
+    #[test]
+    fn periodic_grid_does_not_drift() {
+        let mut d = Dispatcher::new();
+        d.register(
+            at(0),
+            Intent::Periodic {
+                period: SimDuration::from_millis(100),
+                slack: SimDuration::ZERO,
+            },
+        );
+        let fired = d.advance_to(at(1_000));
+        let times: Vec<u64> = fired.iter().map(|x| x.at.as_nanos() / 1_000_000).collect();
+        assert_eq!(times, (1..=10).map(|i| i * 100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_intents_unify() {
+        let mut d = Dispatcher::new();
+        d.register(
+            at(0),
+            Intent::Periodic {
+                period: SimDuration::from_millis(250),
+                slack: SimDuration::from_millis(60),
+            },
+        );
+        let guard = d.register(
+            at(0),
+            Intent::Timeout {
+                deadline: at(5_000),
+            },
+        );
+        d.register(
+            at(0),
+            Intent::Delay {
+                after: at(240),
+                slack: SimDuration::from_millis(40),
+            },
+        );
+        let w = d.register(
+            at(0),
+            Intent::Watchdog {
+                window: SimDuration::from_millis(400),
+            },
+        );
+        d.pat(w, at(200));
+        let dispatches = d.advance_to(at(1_000));
+        assert!(!dispatches.is_empty());
+        // The delay rode along with the first periodic tick.
+        let first = &dispatches[0];
+        assert!(first.fired.len() >= 2, "{first:?}");
+        d.complete(guard);
+        assert!(d
+            .advance_to(at(6_000))
+            .iter()
+            .all(|x| !x.fired.contains(&guard)));
+    }
+}

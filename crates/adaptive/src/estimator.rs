@@ -1,0 +1,225 @@
+//! The adaptive timeout of Section 5.1.
+//!
+//! "Rather than specifying a willingness to wait for an (arbitrary) 30
+//! seconds, the programmer should request to 'time out' once the system
+//! is 99 % confident that a message will never be arriving. … The
+//! confidence interval can be calculated by learning the distribution of
+//! wait-times for each timer object."
+//!
+//! The estimator learns the wait-time distribution with a P² quantile
+//! tracker and reports `quantile(confidence) × safety` as the timeout.
+//! It also handles the paper's hard case: "sudden and long-lived level
+//! shifts in latency will cause the whole learned distribution to shift"
+//! (the LAN → WAN example) — a run of consecutive timeouts triggers a
+//! reset plus temporary backoff so the estimator re-learns quickly
+//! instead of timing out forever.
+
+use simtime::SimDuration;
+
+use crate::quantile::P2Quantile;
+
+/// An adaptive timeout for one logical wait ("this RPC to that server").
+#[derive(Debug, Clone)]
+pub struct AdaptiveTimeout {
+    quantile: P2Quantile,
+    confidence: f64,
+    safety: f64,
+    /// Timeout floor and ceiling.
+    floor: SimDuration,
+    ceiling: SimDuration,
+    /// Fallback before any samples (the legacy constant, e.g. 30 s).
+    initial: SimDuration,
+    /// Consecutive timeouts observed (level-shift detector).
+    consecutive_timeouts: u32,
+    /// Threshold of consecutive timeouts that triggers a relearn.
+    shift_threshold: u32,
+    /// Multiplier applied while relearning.
+    backoff_factor: f64,
+    /// Total level-shift resets performed.
+    resets: u64,
+}
+
+impl AdaptiveTimeout {
+    /// Creates an estimator at the given confidence (e.g. `0.99`), with
+    /// `initial` as the timeout used before any samples arrive.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < confidence < 1`.
+    pub fn new(confidence: f64, initial: SimDuration) -> Self {
+        AdaptiveTimeout {
+            quantile: P2Quantile::new(confidence),
+            confidence,
+            safety: 1.5,
+            floor: SimDuration::from_millis(1),
+            ceiling: SimDuration::from_secs(120),
+            initial,
+            consecutive_timeouts: 0,
+            shift_threshold: 3,
+            backoff_factor: 1.0,
+            resets: 0,
+        }
+    }
+
+    /// Overrides the safety multiplier applied to the learned quantile.
+    pub fn with_safety(mut self, safety: f64) -> Self {
+        self.safety = safety;
+        self
+    }
+
+    /// Overrides the floor/ceiling clamp.
+    pub fn with_bounds(mut self, floor: SimDuration, ceiling: SimDuration) -> Self {
+        self.floor = floor;
+        self.ceiling = ceiling;
+        self
+    }
+
+    /// The confidence level.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Number of level-shift resets so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Number of completed-wait samples learned.
+    pub fn samples(&self) -> u64 {
+        self.quantile.count()
+    }
+
+    /// Records a successful wait that completed after `waited`.
+    pub fn observe_success(&mut self, waited: SimDuration) {
+        self.quantile.observe(waited.as_secs_f64());
+        self.consecutive_timeouts = 0;
+        // Successful observations gradually unwind relearning backoff.
+        if self.backoff_factor > 1.0 {
+            self.backoff_factor = (self.backoff_factor * 0.7).max(1.0);
+        }
+    }
+
+    /// Records that a wait hit the timeout without an answer.
+    ///
+    /// A short run of these is how failures *should* look; a long run
+    /// means the environment shifted and the learned distribution is
+    /// stale, so the estimator resets and temporarily lengthens its
+    /// timeout to re-learn (§5.1's level-shift discussion).
+    pub fn observe_timeout(&mut self) {
+        self.consecutive_timeouts += 1;
+        if self.consecutive_timeouts >= self.shift_threshold {
+            self.quantile.reset();
+            self.consecutive_timeouts = 0;
+            self.backoff_factor = (self.backoff_factor * 2.0).min(16.0);
+            self.resets += 1;
+        }
+    }
+
+    /// The current timeout: `quantile(confidence) × safety × backoff`,
+    /// clamped, or the initial constant before any samples.
+    pub fn timeout(&self) -> SimDuration {
+        if self.samples() == 0 {
+            return self.initial.mul_f64(self.backoff_factor).min(self.ceiling);
+        }
+        let learned = SimDuration::from_secs_f64(
+            self.quantile.estimate() * self.safety * self.backoff_factor,
+        );
+        learned.max(self.floor).min(self.ceiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{LogNormal, Sample, SimRng};
+
+    #[test]
+    fn starts_at_initial() {
+        let est = AdaptiveTimeout::new(0.99, SimDuration::from_secs(30));
+        assert_eq!(est.timeout(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn learns_fast_network_beats_30s() {
+        // The paper's motivating case: responses usually arrive ~130 ms,
+        // yet the programmer waits 30 s. The adaptive timeout should
+        // settle near the distribution tail — two orders of magnitude
+        // below 30 s.
+        let mut est = AdaptiveTimeout::new(0.99, SimDuration::from_secs(30));
+        let dist = LogNormal::from_median(0.130, 0.3);
+        let mut rng = SimRng::new(1);
+        for _ in 0..5_000 {
+            est.observe_success(dist.sample_duration(&mut rng));
+        }
+        let t = est.timeout();
+        assert!(
+            t < SimDuration::from_secs(1),
+            "adaptive timeout {t} should be < 1 s"
+        );
+        assert!(
+            t > SimDuration::from_millis(130),
+            "timeout {t} must exceed the median"
+        );
+    }
+
+    #[test]
+    fn timeout_exceeds_most_samples() {
+        let mut est = AdaptiveTimeout::new(0.99, SimDuration::from_secs(30));
+        let dist = LogNormal::from_median(0.050, 0.4);
+        let mut rng = SimRng::new(2);
+        let mut samples = Vec::new();
+        for _ in 0..20_000 {
+            let s = dist.sample_duration(&mut rng);
+            samples.push(s);
+            est.observe_success(s);
+        }
+        let t = est.timeout();
+        let below = samples.iter().filter(|&&s| s < t).count();
+        let frac = below as f64 / samples.len() as f64;
+        assert!(frac > 0.99, "spurious-timeout rate too high: {frac}");
+    }
+
+    #[test]
+    fn level_shift_triggers_relearn() {
+        let mut est = AdaptiveTimeout::new(0.95, SimDuration::from_secs(30));
+        for _ in 0..1_000 {
+            est.observe_success(SimDuration::from_millis(1));
+        }
+        let lan_timeout = est.timeout();
+        assert!(lan_timeout < SimDuration::from_millis(100));
+        // The user moves to a WAN: every wait now exceeds the learned
+        // timeout. After the shift threshold, the estimator resets and
+        // backs off instead of timing out forever.
+        est.observe_timeout();
+        est.observe_timeout();
+        assert_eq!(est.resets(), 0);
+        est.observe_timeout();
+        assert_eq!(est.resets(), 1);
+        let relearn_timeout = est.timeout();
+        assert!(
+            relearn_timeout > lan_timeout,
+            "{relearn_timeout} vs {lan_timeout}"
+        );
+        // New WAN samples re-converge.
+        for _ in 0..1_000 {
+            est.observe_success(SimDuration::from_millis(130));
+        }
+        let wan = est.timeout();
+        assert!(wan > SimDuration::from_millis(130));
+        assert!(wan < SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        let mut est = AdaptiveTimeout::new(0.5, SimDuration::from_secs(30))
+            .with_bounds(SimDuration::from_millis(200), SimDuration::from_secs(5));
+        for _ in 0..100 {
+            est.observe_success(SimDuration::from_micros(10));
+        }
+        assert_eq!(est.timeout(), SimDuration::from_millis(200));
+        for _ in 0..10_000 {
+            est.observe_success(SimDuration::from_secs(100));
+        }
+        assert_eq!(est.timeout(), SimDuration::from_secs(5));
+    }
+}

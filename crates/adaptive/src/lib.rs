@@ -1,0 +1,47 @@
+//! Adaptive timeouts and richer timer interfaces — the paper's Section 5
+//! proposals, built as a reusable library.
+//!
+//! The study's headline negative result is that almost no timer values
+//! are derived from measurement: they are fixed, round, human numbers
+//! ("30 seconds"), with TCP's retransmission timer the lone adaptive
+//! example. Section 5 sketches what a better timer subsystem would offer;
+//! this crate implements those sketches:
+//!
+//! * [`quantile`] — a streaming P² quantile estimator, the learning core;
+//! * [`estimator`] — §5.1's *adaptive timeout*: "time out once the system
+//!   is 99 % confident that a message will never be arriving", with
+//!   level-shift detection for environment changes (LAN → WAN);
+//! * [`rtt`] — the Jacobson/Karels estimator with Karn's rule, the
+//!   existing adaptive timer the paper holds up as the model;
+//! * [`backoff`] — exponential backoff (the paper's SunRPC 7 × 500 ms
+//!   example runs on this);
+//! * [`deps`] — §5.2's timeout provenance and dependency relations:
+//!   overlap rules (a)/(b)/(c), dependency edges, the
+//!   overlap↔dependency transformation and concurrent-timer reduction;
+//! * [`timespec`] — §5.3's "better notion of time": *any time after*,
+//!   *every t on average*, *n deviations above the mean*, and a wakeup
+//!   coalescer that exploits that looseness to batch expiries (the
+//!   `round_jiffies`/deferrable generalisation);
+//! * [`usecase`] — §5.4's use-case-specific interfaces: drift-free
+//!   periodic tickers, RAII timeout guards (the Win32 auto-object idiom),
+//!   watchdogs and delays;
+//! * [`dispatch`] — §5.5's end-game: a unified dispatcher where
+//!   applications declare *what code to run when* and one schedule
+//!   subsumes every timer use case.
+
+pub mod backoff;
+pub mod deps;
+pub mod dispatch;
+pub mod estimator;
+pub mod quantile;
+pub mod rtt;
+pub mod timespec;
+pub mod usecase;
+
+pub use backoff::ExponentialBackoff;
+pub use dispatch::{Dispatch, Dispatcher, Intent, IntentId};
+pub use estimator::AdaptiveTimeout;
+pub use quantile::P2Quantile;
+pub use rtt::RttEstimator;
+pub use timespec::{Coalescer, TimeSpec};
+pub use usecase::{DelayTimer, PeriodicTicker, TimeoutGuard, Watchdog};

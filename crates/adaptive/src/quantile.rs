@@ -1,0 +1,227 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! The adaptive-timeout proposal needs "the distribution of wait-times
+//! for each timer object" learned online with O(1) memory — a kernel
+//! cannot buffer every observation. P² (Jain & Chlamtac, 1985) maintains
+//! five markers whose heights converge to the target quantile; it is the
+//! standard choice for embedded quantile tracking.
+
+/// A streaming estimator of a single quantile.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    /// The target quantile in (0, 1).
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    /// Observations seen.
+    count: u64,
+    /// Initial buffer until five samples arrive.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                for (i, &v) in self.init.iter().enumerate() {
+                    self.q[i] = v;
+                }
+            }
+            return;
+        }
+        // Find the cell containing x, adjusting extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust interior markers via parabolic (or linear) interpolation.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let s = d.signum();
+                let qp = self.parabolic(i, s);
+                if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    self.q[i] = qp;
+                } else {
+                    self.q[i] = self.linear(i, s);
+                }
+                self.n[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + s / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + s) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - s) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current quantile estimate.
+    ///
+    /// Before five observations, falls back to the max seen (conservative
+    /// for timeout use).
+    pub fn estimate(&self) -> f64 {
+        if self.init.len() < 5 {
+            return self
+                .init
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+                .max(0.0);
+        }
+        self.q[2]
+    }
+
+    /// Resets the estimator (level-shift response).
+    pub fn reset(&mut self) {
+        *self = P2Quantile::new(self.p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use simtime::SimRng;
+
+    fn exact_quantile(mut xs: Vec<f64>, p: f64) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((xs.len() as f64 - 1.0) * p).round() as usize;
+        xs[idx]
+    }
+
+    #[test]
+    fn uniform_median_converges() {
+        let mut est = P2Quantile::new(0.5);
+        let mut rng = SimRng::new(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.unit_f64()).collect();
+        for &x in &xs {
+            est.observe(x);
+        }
+        assert!((est.estimate() - 0.5).abs() < 0.01, "{}", est.estimate());
+    }
+
+    #[test]
+    fn p99_of_exponential() {
+        let mut est = P2Quantile::new(0.99);
+        let mut rng = SimRng::new(2);
+        let xs: Vec<f64> = (0..100_000).map(|_| -rng.unit_f64_open().ln()).collect();
+        for &x in &xs {
+            est.observe(x);
+        }
+        let exact = exact_quantile(xs, 0.99);
+        let rel = (est.estimate() - exact).abs() / exact;
+        assert!(rel < 0.08, "est {} vs exact {exact}", est.estimate());
+    }
+
+    #[test]
+    fn few_samples_fall_back_to_max() {
+        let mut est = P2Quantile::new(0.9);
+        est.observe(3.0);
+        est.observe(7.0);
+        assert_eq!(est.estimate(), 7.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut est = P2Quantile::new(0.5);
+        for i in 0..100 {
+            est.observe(i as f64);
+        }
+        est.reset();
+        assert_eq!(est.count(), 0);
+        est.observe(42.0);
+        assert_eq!(est.estimate(), 42.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn estimate_within_observed_range(
+            xs in proptest::collection::vec(0.0f64..1e6, 5..500),
+            p in 0.05f64..0.95,
+        ) {
+            let mut est = P2Quantile::new(p);
+            for &x in &xs {
+                est.observe(x);
+            }
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let e = est.estimate();
+            prop_assert!(e >= min - 1e-9 && e <= max + 1e-9, "{e} not in [{min},{max}]");
+        }
+
+        #[test]
+        fn large_sample_accuracy(seed in 0u64..1000) {
+            let mut rng = SimRng::new(seed);
+            let mut est = P2Quantile::new(0.9);
+            let xs: Vec<f64> = (0..20_000).map(|_| rng.unit_f64()).collect();
+            for &x in &xs {
+                est.observe(x);
+            }
+            prop_assert!((est.estimate() - 0.9).abs() < 0.03);
+        }
+    }
+}

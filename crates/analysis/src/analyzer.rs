@@ -1,0 +1,229 @@
+//! The composed streaming analyzer and its report.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simtime::SimDuration;
+use trace::{Event, EventCounts, Pid, StringTable, TraceSink};
+
+use crate::classify::{Classifier, ClusterKey, PatternMix};
+use crate::countdown::{CountdownDetector, Dot};
+use crate::lifecycle::LifecycleTracker;
+use crate::provenance::{ProvenanceRow, ProvenanceTracker};
+use crate::scatter::{ScatterBuilder, ScatterPoint};
+use crate::summary::{RateSeries, TimerPopulation, TraceSummary};
+use crate::values::{ValueHistogram, ValueRow};
+
+/// How episodes are clustered into "a timer" for classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterMode {
+    /// By timer address — natural on Linux, where structs are static.
+    ByAddress,
+    /// By (origin, pid) — required on Vista, where KTIMERs are allocated
+    /// fresh per use (§3.3).
+    ByOriginPid,
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Jitter tolerance (the paper's experimentally determined 2 ms).
+    pub tolerance: SimDuration,
+    /// Cluster mode for pattern classification.
+    pub cluster_mode: ClusterMode,
+    /// Explicit pid → Figure 1 group labels.
+    pub rate_groups: HashMap<Pid, String>,
+    /// Processes whose sets become Figure 4 dots (Xorg).
+    pub dot_pids: Vec<Pid>,
+    /// Processes filtered out of Figures 5/6 and the scatter plots
+    /// (X and icewm).
+    pub exclude_pids: Vec<Pid>,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            tolerance: SimDuration::from_millis(2),
+            cluster_mode: ClusterMode::ByAddress,
+            rate_groups: HashMap::new(),
+            dot_pids: Vec::new(),
+            exclude_pids: Vec::new(),
+        }
+    }
+}
+
+impl AnalyzerConfig {
+    /// The configuration used for Linux traces.
+    pub fn linux() -> Self {
+        Self::default()
+    }
+
+    /// The configuration used for Vista traces.
+    pub fn vista() -> Self {
+        AnalyzerConfig {
+            cluster_mode: ClusterMode::ByOriginPid,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything the paper's tables and figures need, in one serialisable
+/// bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Table 1/2 column.
+    pub summary: TraceSummary,
+    /// Figure 2 data.
+    pub pattern_mix: PatternMix,
+    /// Figure 3 / 7 rows (unfiltered) at the ≥ 2 % rule.
+    pub values_all: Vec<ValueRow>,
+    /// Coverage of the ≥ 2 % rows (the paper quotes these percentages).
+    pub values_all_coverage: f64,
+    /// Figure 5 rows (X/icewm filtered).
+    pub values_filtered: Vec<ValueRow>,
+    /// Coverage of the filtered rows.
+    pub values_filtered_coverage: f64,
+    /// Figure 6 rows (user-space sets only, filtered).
+    pub values_user: Vec<ValueRow>,
+    /// Figures 8–11 points.
+    pub scatter: Vec<ScatterPoint>,
+    /// Figure 4 dots.
+    pub fig4_dots: Vec<Dot>,
+    /// Figure 1 series: group → sets/second (ordered for deterministic
+    /// serialisation).
+    pub rate_series: std::collections::BTreeMap<String, Vec<u32>>,
+    /// Table 3 rows.
+    pub provenance: Vec<ProvenanceRow>,
+    /// Number of timers the countdown detector flagged (≥ 50 % countdown
+    /// re-issues).
+    pub countdown_timer_count: usize,
+    /// Detector-vs-ground-truth counts: (detected, flagged).
+    pub countdown_validation: (u64, u64),
+}
+
+/// The composed streaming analyzer.
+pub struct TraceAnalyzer {
+    cfg: AnalyzerConfig,
+    lifecycle: LifecycleTracker,
+    population: TimerPopulation,
+    counts: EventCounts,
+    classifier: Classifier,
+    origin_classifier: Classifier,
+    values_all: ValueHistogram,
+    values_filtered: ValueHistogram,
+    values_user: ValueHistogram,
+    countdown: CountdownDetector,
+    scatter: ScatterBuilder,
+    rates: RateSeries,
+    provenance: ProvenanceTracker,
+}
+
+impl std::fmt::Debug for TraceAnalyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceAnalyzer")
+            .field("accesses", &self.counts.accesses)
+            .finish()
+    }
+}
+
+impl TraceAnalyzer {
+    /// Creates an analyzer.
+    pub fn new(cfg: AnalyzerConfig) -> Self {
+        let values_filtered = ValueHistogram::excluding(cfg.exclude_pids.iter().copied());
+        // The user-space histogram applies the same process filter.
+        let values_user = ValueHistogram::user_only_excluding(cfg.exclude_pids.iter().copied());
+        TraceAnalyzer {
+            lifecycle: LifecycleTracker::new(),
+            population: TimerPopulation::default(),
+            counts: EventCounts::default(),
+            classifier: Classifier::new(cfg.tolerance),
+            origin_classifier: Classifier::new(cfg.tolerance),
+            values_all: ValueHistogram::new(),
+            values_filtered,
+            values_user,
+            countdown: CountdownDetector::new(cfg.tolerance, cfg.dot_pids.clone()),
+            scatter: ScatterBuilder::new(),
+            rates: RateSeries::new(cfg.rate_groups.clone()),
+            provenance: ProvenanceTracker::new(),
+            cfg,
+        }
+    }
+
+    /// Feeds one event through every component.
+    pub fn push(&mut self, event: &Event) {
+        self.counts.absorb(event);
+        self.population.push(event);
+        self.rates.push(event);
+        self.values_all.push(event);
+        self.values_filtered.push(event);
+        self.values_user.push(event);
+        self.countdown.push(event);
+        if let Some(sample) = self.lifecycle.push(event) {
+            let key = match self.cfg.cluster_mode {
+                ClusterMode::ByAddress => ClusterKey(sample.addr, 0),
+                ClusterMode::ByOriginPid => ClusterKey(sample.origin as u64, sample.pid as u64),
+            };
+            self.classifier.push(key, &sample);
+            self.origin_classifier
+                .push(ClusterKey(sample.origin as u64, 0), &sample);
+            if !self.cfg.exclude_pids.contains(&sample.pid) {
+                self.scatter.push(&sample);
+            }
+            self.provenance.push(&sample);
+        }
+    }
+
+    /// Finalises into a [`Report`]; `strings` resolves origin labels.
+    pub fn finish(self, strings: &StringTable) -> Report {
+        let summary = TraceSummary::from_counts(
+            self.counts,
+            self.population.count(),
+            self.lifecycle.peak_concurrency() as u64,
+        );
+        let origin_classifier = &self.origin_classifier;
+        let provenance = self.provenance.rows(
+            1.0,
+            4,
+            |o| strings.resolve(o).to_owned(),
+            |o| {
+                origin_classifier
+                    .class_of(ClusterKey(o as u64, 0))
+                    .unwrap_or(crate::classify::PatternClass::Other)
+            },
+        );
+        let mut rate_series = std::collections::BTreeMap::new();
+        for name in self.rates.group_names() {
+            rate_series.insert(name.to_owned(), self.rates.series(name).to_vec());
+        }
+        Report {
+            summary,
+            pattern_mix: self.classifier.finish(),
+            values_all: self.values_all.rows(2.0),
+            values_all_coverage: self.values_all.coverage(2.0),
+            values_filtered: self.values_filtered.rows(2.0),
+            values_filtered_coverage: self.values_filtered.coverage(2.0),
+            values_user: self.values_user.rows(2.0),
+            scatter: self.scatter.points(),
+            fig4_dots: self.countdown.dots().to_vec(),
+            rate_series,
+            provenance,
+            countdown_timer_count: self.countdown.countdown_timers(0.5).len(),
+            countdown_validation: self.countdown.validation_counts(),
+        }
+    }
+
+    /// Aggregate counters so far (for progress displays).
+    pub fn counts(&self) -> EventCounts {
+        self.counts
+    }
+}
+
+impl TraceSink for TraceAnalyzer {
+    fn record(&mut self, event: &Event) {
+        self.push(event);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

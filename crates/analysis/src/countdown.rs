@@ -1,0 +1,223 @@
+//! Detection of the `select` countdown idiom, and the Figure 4 series.
+//!
+//! "Both the X server and the icewm window manager start by setting a
+//! constant timeout for select. When select returns due to file
+//! descriptor activity, Linux updates the timeout value to reflect the
+//! time remaining, and the processes use this new value until it reaches
+//! zero" (§4.2, Figure 4). The detector recognises consecutive sets on
+//! the same timer whose new value equals the previous value minus the
+//! elapsed time (within tolerance) — *without* looking at the
+//! ground-truth flag the simulator attaches, which is reserved for
+//! validating the detector.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simtime::SimDuration;
+use trace::{Event, EventKind, Pid, TimerAddr};
+
+/// Per-timer countdown statistics.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct CountdownStats {
+    /// Total sets observed.
+    pub sets: u64,
+    /// Sets detected as countdown re-issues of the previous value.
+    pub countdown_sets: u64,
+    /// Ground-truth countdown sets (from simulator flags), for validation.
+    pub flagged_sets: u64,
+}
+
+impl CountdownStats {
+    /// Fraction of sets that are countdown re-issues.
+    pub fn countdown_fraction(&self) -> f64 {
+        if self.sets == 0 {
+            0.0
+        } else {
+            self.countdown_sets as f64 / self.sets as f64
+        }
+    }
+}
+
+/// One dot of the Figure 4 series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dot {
+    /// Trace time, seconds.
+    pub t: f64,
+    /// Timeout value set, seconds.
+    pub value: f64,
+}
+
+/// The streaming countdown detector.
+#[derive(Debug)]
+pub struct CountdownDetector {
+    tolerance: SimDuration,
+    last_set: HashMap<TimerAddr, (u64, u64)>, // (ts_ns, value_ns)
+    per_timer: HashMap<TimerAddr, CountdownStats>,
+    /// Processes whose every set is recorded as a Figure 4 dot.
+    dot_pids: Vec<Pid>,
+    dots: Vec<Dot>,
+    max_dots: usize,
+}
+
+impl CountdownDetector {
+    /// Creates a detector; `dot_pids` are the processes whose sets become
+    /// Figure 4 dots (Xorg in the paper).
+    pub fn new(tolerance: SimDuration, dot_pids: Vec<Pid>) -> Self {
+        CountdownDetector {
+            tolerance,
+            last_set: HashMap::new(),
+            per_timer: HashMap::new(),
+            dot_pids,
+            dots: Vec::new(),
+            max_dots: 200_000,
+        }
+    }
+
+    /// Feeds one event.
+    pub fn push(&mut self, event: &Event) {
+        if event.kind != EventKind::Set {
+            // Expiry/cancel breaks a countdown chain only through time
+            // gaps; the chain state keys off consecutive sets alone.
+            return;
+        }
+        let Some(value) = event.timeout else {
+            return;
+        };
+        let stats = self.per_timer.entry(event.timer).or_default();
+        stats.sets += 1;
+        if event.flags.countdown {
+            stats.flagged_sets += 1;
+        }
+        let now_ns = event.ts.as_nanos();
+        let value_ns = value.as_nanos();
+        if let Some(&(prev_ts, prev_value)) = self.last_set.get(&event.timer) {
+            let elapsed = now_ns.saturating_sub(prev_ts);
+            let expected_remaining = prev_value.saturating_sub(elapsed);
+            // Slack: the classifier tolerance, one extra tolerance-width
+            // for the kernel's round-up-plus-guard-jiffy conversion (the
+            // written-back remainder is up to a tick above the ideal),
+            // and 2 % of the elapsed time.
+            let tol = 2 * self.tolerance.as_nanos() + elapsed / 50;
+            if value_ns <= prev_value + 2 * self.tolerance.as_nanos()
+                && expected_remaining.abs_diff(value_ns) <= tol
+                && prev_value > 0
+            {
+                stats.countdown_sets += 1;
+            }
+        }
+        self.last_set.insert(event.timer, (now_ns, value_ns));
+        if self.dot_pids.contains(&event.pid) && self.dots.len() < self.max_dots {
+            self.dots.push(Dot {
+                t: event.ts.as_secs_f64(),
+                value: value.as_secs_f64(),
+            });
+        }
+    }
+
+    /// Timers whose sets are mostly countdown re-issues.
+    pub fn countdown_timers(&self, min_fraction: f64) -> Vec<TimerAddr> {
+        self.per_timer
+            .iter()
+            .filter(|(_, s)| s.sets >= 4 && s.countdown_fraction() >= min_fraction)
+            .map(|(&addr, _)| addr)
+            .collect()
+    }
+
+    /// Per-timer statistics.
+    pub fn stats(&self, addr: TimerAddr) -> Option<CountdownStats> {
+        self.per_timer.get(&addr).copied()
+    }
+
+    /// The Figure 4 dot series.
+    pub fn dots(&self) -> &[Dot] {
+        &self.dots
+    }
+
+    /// Aggregate detector-vs-ground-truth agreement over all timers with
+    /// any flagged sets: (detected, flagged).
+    pub fn validation_counts(&self) -> (u64, u64) {
+        let mut detected = 0;
+        let mut flagged = 0;
+        for s in self.per_timer.values() {
+            detected += s.countdown_sets;
+            flagged += s.flagged_sets;
+        }
+        (detected, flagged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::SimInstant;
+
+    fn set(addr: TimerAddr, ms: u64, value_ms: u64) -> Event {
+        Event::new(
+            SimInstant::BOOT + SimDuration::from_millis(ms),
+            EventKind::Set,
+            addr,
+            0,
+        )
+        .with_timeout(SimDuration::from_millis(value_ms))
+        .with_task(100, 100, trace::Space::User)
+    }
+
+    #[test]
+    fn detects_pure_countdown() {
+        let mut d = CountdownDetector::new(SimDuration::from_millis(2), vec![]);
+        // 600 s initial; fd activity every 50 s re-issues the remainder.
+        let mut remaining = 600_000u64;
+        let mut now = 0u64;
+        for _ in 0..8 {
+            d.push(&set(1, now, remaining));
+            now += 50_000;
+            remaining -= 50_000;
+        }
+        let timers = d.countdown_timers(0.8);
+        assert_eq!(timers, vec![1]);
+        let s = d.stats(1).unwrap();
+        assert_eq!(s.sets, 8);
+        assert_eq!(s.countdown_sets, 7);
+    }
+
+    #[test]
+    fn constant_values_are_not_countdown() {
+        let mut d = CountdownDetector::new(SimDuration::from_millis(2), vec![]);
+        for i in 0..10u64 {
+            d.push(&set(2, i * 1000, 5000));
+        }
+        assert!(d.countdown_timers(0.3).is_empty());
+    }
+
+    #[test]
+    fn random_values_are_not_countdown() {
+        let mut d = CountdownDetector::new(SimDuration::from_millis(2), vec![]);
+        for (i, v) in [500u64, 320, 810, 90, 700].iter().enumerate() {
+            d.push(&set(3, i as u64 * 100, *v));
+        }
+        assert!(d.countdown_timers(0.3).is_empty());
+    }
+
+    #[test]
+    fn dots_recorded_for_target_pids() {
+        let mut d = CountdownDetector::new(SimDuration::from_millis(2), vec![100]);
+        d.push(&set(1, 1000, 600_000));
+        d.push(&set(1, 2000, 599_000));
+        assert_eq!(d.dots().len(), 2);
+        assert!((d.dots()[0].value - 600.0).abs() < 1e-9);
+        assert!((d.dots()[1].t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_counts_track_flags() {
+        let mut d = CountdownDetector::new(SimDuration::from_millis(2), vec![]);
+        let mut e = set(1, 0, 1000);
+        d.push(&e);
+        e = set(1, 400, 600);
+        e.flags.countdown = true;
+        d.push(&e);
+        let (detected, flagged) = d.validation_counts();
+        assert_eq!(flagged, 1);
+        assert_eq!(detected, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! The trace-analysis pipeline (paper Sections 3–4).
+//!
+//! Everything is *streaming*: the analyzer implements
+//! [`trace::TraceSink`], so a 30-minute, multi-million-event workload run
+//! feeds it one event at a time and memory stays bounded by the number of
+//! distinct timers, origins and histogram buckets — never by trace length.
+//!
+//! Components, one per analysis the paper performs:
+//!
+//! * [`summary`] — Tables 1 and 2: allocated timers, maximum concurrency,
+//!   accesses (user/kernel), set/expired/canceled counts, plus the
+//!   timers-per-second series behind Figure 1;
+//! * [`lifecycle`] — reconstructs per-timer set → (expire | cancel |
+//!   re-set) episodes, the raw material for everything below;
+//! * [`classify`] — the usage-pattern taxonomy of §4.1.1: periodic,
+//!   watchdog, delay, timeout, deferred, other, with the experimentally
+//!   determined 2 ms jitter tolerance;
+//! * [`values`] — the commonly-used-value histograms of §4.2 (Figures 3,
+//!   5, 6, 7), with the ≥ 2 % reporting rule and the X/icewm filter;
+//! * [`countdown`] — detection of the `select` countdown idiom and the
+//!   Figure 4 dot-plot series;
+//! * [`scatter`] — the set-value versus percent-of-value-at-end scatter
+//!   data of Figures 8–11 (250 % cut-off, immediate-expiry exclusion);
+//! * [`provenance`] — Table 3: which origin sets which frequent value,
+//!   and how that timer classifies.
+//!
+//! [`TraceAnalyzer`] composes all of them behind one sink.
+
+pub mod analyzer;
+pub mod classify;
+pub mod countdown;
+pub mod lifecycle;
+pub mod provenance;
+pub mod scatter;
+pub mod summary;
+pub mod values;
+
+pub use analyzer::{AnalyzerConfig, ClusterMode, Report, TraceAnalyzer};
+pub use classify::{PatternClass, PatternMix};
+pub use lifecycle::{Outcome, Sample};

@@ -1,0 +1,177 @@
+//! Trace summaries (Tables 1 and 2) and the timer-rate series (Figure 1).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use trace::{Event, EventCounts, EventKind, Pid, TimerAddr};
+
+/// One workload's trace summary — one column of Table 1 / Table 2.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total number of distinct timer data structures seen.
+    pub timers: u64,
+    /// Maximum number of outstanding timers at any time.
+    pub concurrency: u64,
+    /// Total accesses to the timer subsystem.
+    pub accesses: u64,
+    /// Accesses from user space.
+    pub user_space: u64,
+    /// Accesses from the kernel.
+    pub kernel: u64,
+    /// Set operations.
+    pub set: u64,
+    /// Expiries.
+    pub expired: u64,
+    /// Cancellations.
+    pub canceled: u64,
+}
+
+impl TraceSummary {
+    /// Builds from counters plus the lifecycle-derived fields.
+    pub fn from_counts(counts: EventCounts, timers: u64, concurrency: u64) -> Self {
+        TraceSummary {
+            timers,
+            concurrency,
+            accesses: counts.accesses,
+            user_space: counts.user_space,
+            kernel: counts.kernel,
+            set: counts.set,
+            expired: counts.expired,
+            canceled: counts.canceled,
+        }
+    }
+}
+
+/// Tracks distinct timer addresses (the "timers" row).
+#[derive(Debug, Default)]
+pub struct TimerPopulation {
+    seen: HashSet<TimerAddr>,
+}
+
+impl TimerPopulation {
+    /// Feeds one event.
+    pub fn push(&mut self, event: &Event) {
+        self.seen.insert(event.timer);
+    }
+
+    /// Number of distinct timers.
+    pub fn count(&self) -> u64 {
+        self.seen.len() as u64
+    }
+}
+
+/// Timers-set-per-second, grouped (Figure 1's Outlook / Browser / System /
+/// Kernel lines).
+#[derive(Debug)]
+pub struct RateSeries {
+    /// Explicit pid → group assignments; unlisted user pids fall into
+    /// `default_group`, pid 0 into `kernel_group`.
+    groups: HashMap<Pid, String>,
+    default_group: String,
+    kernel_group: String,
+    /// counts[group][second] = sets.
+    counts: HashMap<String, Vec<u32>>,
+}
+
+impl RateSeries {
+    /// Creates a series with the given explicit groupings.
+    pub fn new(groups: HashMap<Pid, String>) -> Self {
+        RateSeries {
+            groups,
+            default_group: "System".to_owned(),
+            kernel_group: "Kernel".to_owned(),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Feeds one event (sets only).
+    pub fn push(&mut self, event: &Event) {
+        if event.kind != EventKind::Set {
+            return;
+        }
+        let group = match self.groups.get(&event.pid) {
+            Some(g) => g.clone(),
+            None if event.pid == 0 => self.kernel_group.clone(),
+            None => self.default_group.clone(),
+        };
+        let sec = (event.ts.as_nanos() / 1_000_000_000) as usize;
+        let series = self.counts.entry(group).or_default();
+        if series.len() <= sec {
+            series.resize(sec + 1, 0);
+        }
+        series[sec] += 1;
+    }
+
+    /// The per-second series for `group`.
+    pub fn series(&self, group: &str) -> &[u32] {
+        self.counts.get(group).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All group names present.
+    pub fn group_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.counts.keys().map(String::as_str).collect();
+        names.sort();
+        names
+    }
+
+    /// Mean sets/second for `group` over the first `secs` seconds.
+    pub fn mean_rate(&self, group: &str, secs: usize) -> f64 {
+        let s = self.series(group);
+        if secs == 0 {
+            return 0.0;
+        }
+        let sum: u64 = s.iter().take(secs).map(|&c| c as u64).sum();
+        sum as f64 / secs as f64
+    }
+
+    /// Peak sets/second for `group`.
+    pub fn peak_rate(&self, group: &str) -> u32 {
+        self.series(group).iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{SimDuration, SimInstant};
+
+    fn set_at(pid: Pid, sec: u64) -> Event {
+        Event::new(
+            SimInstant::BOOT + SimDuration::from_secs(sec),
+            EventKind::Set,
+            1,
+            0,
+        )
+        .with_task(pid, pid, trace::Space::User)
+    }
+
+    #[test]
+    fn groups_and_rates() {
+        let mut groups = HashMap::new();
+        groups.insert(10, "Outlook".to_owned());
+        let mut rs = RateSeries::new(groups);
+        for sec in 0..10 {
+            for _ in 0..70 {
+                rs.push(&set_at(10, sec));
+            }
+            rs.push(&set_at(99, sec)); // Unlisted => System.
+            rs.push(&set_at(0, sec)); // Kernel.
+        }
+        assert!((rs.mean_rate("Outlook", 10) - 70.0).abs() < 1e-9);
+        assert_eq!(rs.peak_rate("Outlook"), 70);
+        assert_eq!(rs.series("System").len(), 10);
+        assert_eq!(rs.mean_rate("Kernel", 10), 1.0);
+        assert_eq!(rs.group_names(), vec!["Kernel", "Outlook", "System"]);
+    }
+
+    #[test]
+    fn population_counts_distinct() {
+        let mut p = TimerPopulation::default();
+        for addr in [1u64, 2, 2, 3, 1] {
+            let mut e = set_at(1, 0);
+            e.timer = addr;
+            p.push(&e);
+        }
+        assert_eq!(p.count(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! Adaptive-timeout machinery micro-benchmarks: can the §5.1 estimator
+//! run at per-packet rates? (The kernel objection to learned timeouts.)
+
+use adaptive::{AdaptiveTimeout, P2Quantile, RttEstimator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simtime::{SimDuration, SimRng};
+
+fn bench_adaptive(c: &mut Criterion) {
+    c.bench_function("p2_quantile_observe", |b| {
+        let mut q = P2Quantile::new(0.99);
+        let mut rng = SimRng::new(1);
+        b.iter(|| q.observe(rng.unit_f64()))
+    });
+    c.bench_function("adaptive_timeout_observe_success", |b| {
+        let mut est = AdaptiveTimeout::new(0.99, SimDuration::from_secs(30));
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            est.observe_success(SimDuration::from_nanos(
+                1_000_000 + rng.range_u64(0, 1_000_000),
+            ));
+            est.timeout()
+        })
+    });
+    c.bench_function("rtt_estimator_on_ack", |b| {
+        let mut est = RttEstimator::new();
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            est.on_ack(SimDuration::from_micros(500 + rng.range_u64(0, 400)));
+            est.rto()
+        })
+    });
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

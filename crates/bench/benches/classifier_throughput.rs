@@ -1,0 +1,61 @@
+//! Analysis-pipeline throughput: events/second through the full streaming
+//! analyzer (the Firefox trace is ~3.9 M events; post-processing must not
+//! dominate the experiment).
+
+use analysis::{AnalyzerConfig, TraceAnalyzer};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simtime::{SimDuration, SimInstant, SimRng};
+use trace::{Event, EventKind, Space};
+
+fn synthetic_events(n: usize) -> Vec<Event> {
+    let mut rng = SimRng::new(1);
+    let mut events = Vec::with_capacity(n);
+    let mut now = 0u64;
+    for i in 0..n {
+        now += rng.range_u64(100_000, 5_000_000);
+        let addr = 0xC100_0000 + (i as u64 % 96) * 0x40;
+        let timeout = [4u64, 8, 12, 40, 204, 500, 1_000, 5_000][i % 8];
+        events.push(
+            Event::new(
+                SimInstant::from_nanos(now),
+                EventKind::Set,
+                addr,
+                (i % 24) as u32,
+            )
+            .with_timeout(SimDuration::from_millis(timeout))
+            .with_expires(SimInstant::from_nanos(now + timeout * 1_000_000))
+            .with_task(100, 100, Space::User),
+        );
+        let end_kind = if i % 3 == 0 {
+            EventKind::Expire
+        } else {
+            EventKind::Cancel
+        };
+        events.push(Event::new(
+            SimInstant::from_nanos(now + timeout * 500_000),
+            end_kind,
+            addr,
+            (i % 24) as u32,
+        ));
+    }
+    events
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let events = synthetic_events(50_000);
+    let mut group = c.benchmark_group("analyzer");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("stream_100k_events", |b| {
+        b.iter(|| {
+            let mut a = TraceAnalyzer::new(AnalyzerConfig::linux());
+            for e in &events {
+                a.push(e);
+            }
+            a.counts().accesses
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Figure 1: timer usage frequency in Vista (Outlook/Browser/System/Kernel).
+use timerstudy::{figures, run_experiment, ExperimentSpec, Os, Workload, FIG1_DURATION};
+
+fn main() {
+    let result = run_experiment(ExperimentSpec {
+        os: Os::Vista,
+        workload: Workload::Outlook,
+        duration: FIG1_DURATION,
+        seed: 7,
+    });
+    println!("{}", figures::fig01(&result).printable());
+}

@@ -1,0 +1,38 @@
+//! Figure 2: common Linux timer usage patterns, with an optional
+//! `--sweep` of the classifier's jitter tolerance (a DESIGN.md ablation).
+use analysis::PatternClass;
+use timerstudy::experiment::{
+    analyzer_config, repro_duration, run_experiment_with, run_table_workloads,
+};
+use timerstudy::{figures, ExperimentSpec, Os, Workload};
+
+fn main() {
+    let duration = repro_duration();
+    let results = run_table_workloads(Os::Linux, duration, 7);
+    println!("{}", figures::fig02(&results).printable());
+    if std::env::args().any(|a| a == "--sweep") {
+        println!("=== jitter-tolerance sensitivity (Idle workload) ===");
+        for tol_us in [100u64, 500, 2_000, 8_000] {
+            let mut cfg = analyzer_config(Os::Linux, Workload::Idle);
+            cfg.tolerance = simtime::SimDuration::from_micros(tol_us);
+            let result = run_experiment_with(
+                ExperimentSpec {
+                    os: Os::Linux,
+                    workload: Workload::Idle,
+                    duration,
+                    seed: 7,
+                },
+                cfg,
+            );
+            println!(
+                "tolerance {:>5} us: periodic {:>5.1}%  watchdog {:>5.1}%  timeout {:>5.1}%  other {:>5.1}%",
+                tol_us,
+                result.report.pattern_mix.percent(PatternClass::Periodic),
+                result.report.pattern_mix.percent(PatternClass::Watchdog),
+                result.report.pattern_mix.percent(PatternClass::Timeout),
+                result.report.pattern_mix.percent(PatternClass::Other),
+            );
+        }
+        println!("(the paper's experimentally determined tolerance is 2 ms)");
+    }
+}

@@ -1,0 +1,8 @@
+//! Figure 3: common Linux timer values (unfiltered).
+use timerstudy::experiment::{repro_duration, run_table_workloads};
+use timerstudy::{figures, Os};
+
+fn main() {
+    let results = run_table_workloads(Os::Linux, repro_duration(), 7);
+    println!("{}", figures::fig03(&results).printable());
+}

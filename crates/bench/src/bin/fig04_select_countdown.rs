@@ -1,0 +1,15 @@
+//! Figure 4: dot plot of X timer usage via select.
+use timerstudy::experiment::repro_duration;
+use timerstudy::{figures, run_experiment, ExperimentSpec, Os, Workload};
+
+fn main() {
+    let result = run_experiment(ExperimentSpec {
+        os: Os::Linux,
+        workload: Workload::Idle,
+        duration: repro_duration(),
+        seed: 7,
+    });
+    println!("{}", figures::fig04(&result).printable());
+    let (detected, flagged) = result.report.countdown_validation;
+    println!("countdown detector: {detected} sets detected vs {flagged} ground-truth flagged");
+}

@@ -1,0 +1,8 @@
+//! Figure 5: common Linux timeout values, X/icewm filtered.
+use timerstudy::experiment::{repro_duration, run_table_workloads};
+use timerstudy::{figures, Os};
+
+fn main() {
+    let results = run_table_workloads(Os::Linux, repro_duration(), 7);
+    println!("{}", figures::fig05(&results).printable());
+}

@@ -1,0 +1,8 @@
+//! Figure 6: common Linux syscall timer values.
+use timerstudy::experiment::{repro_duration, run_table_workloads};
+use timerstudy::{figures, Os};
+
+fn main() {
+    let results = run_table_workloads(Os::Linux, repro_duration(), 7);
+    println!("{}", figures::fig06(&results).printable());
+}

@@ -1,0 +1,8 @@
+//! Figure 7: common Vista timeout values.
+use timerstudy::experiment::{repro_duration, run_table_workloads};
+use timerstudy::{figures, Os};
+
+fn main() {
+    let results = run_table_workloads(Os::Vista, repro_duration(), 7);
+    println!("{}", figures::fig07(&results).printable());
+}

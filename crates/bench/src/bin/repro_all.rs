@@ -1,0 +1,46 @@
+//! Reproduces every table and figure of the paper in one run.
+//!
+//! Full 30-minute traces by default; set `REPRO_SECONDS` to scale down.
+//! With `--artifacts DIR`, each artifact is also written to `DIR` as a
+//! text rendering plus CSV data where applicable.
+
+use timerstudy::experiment::repro_duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let artifacts_dir = args
+        .iter()
+        .position(|a| a == "--artifacts")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let duration = repro_duration();
+    eprintln!(
+        "running all experiments at {} simulated seconds per trace...",
+        duration.as_secs()
+    );
+    for (index, artifact) in timerstudy::figures::reproduce_all(duration, 7)
+        .iter()
+        .enumerate()
+    {
+        println!("{}", artifact.printable());
+        if let Some(dir) = &artifacts_dir {
+            std::fs::create_dir_all(dir).expect("create artifacts dir");
+            let stem = artifact
+                .title
+                .split(':')
+                .next()
+                .unwrap_or("artifact")
+                .to_lowercase()
+                .replace(' ', "_");
+            let base = format!("{dir}/{index:02}_{stem}");
+            std::fs::write(format!("{base}.txt"), artifact.printable())
+                .expect("write artifact text");
+            if let Some(csv) = &artifact.csv {
+                std::fs::write(format!("{base}.csv"), csv).expect("write artifact csv");
+            }
+        }
+    }
+    if let Some(dir) = &artifacts_dir {
+        eprintln!("artifacts written to {dir}/");
+    }
+}

@@ -1,0 +1,8 @@
+//! Table 1: Linux trace summary for the four workloads.
+use timerstudy::experiment::{repro_duration, run_table_workloads};
+use timerstudy::{figures, Os};
+
+fn main() {
+    let results = run_table_workloads(Os::Linux, repro_duration(), 7);
+    println!("{}", figures::table1(&results).printable());
+}

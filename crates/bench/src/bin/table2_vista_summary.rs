@@ -1,0 +1,8 @@
+//! Table 2: Vista trace summary for the four workloads.
+use timerstudy::experiment::{repro_duration, run_table_workloads};
+use timerstudy::{figures, Os};
+
+fn main() {
+    let results = run_table_workloads(Os::Vista, repro_duration(), 7);
+    println!("{}", figures::table2(&results).printable());
+}

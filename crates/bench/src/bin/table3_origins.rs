@@ -1,0 +1,8 @@
+//! Table 3: origins and classification of frequent Linux timeout values.
+use timerstudy::experiment::{repro_duration, run_table_workloads};
+use timerstudy::{figures, Os};
+
+fn main() {
+    let results = run_table_workloads(Os::Linux, repro_duration(), 7);
+    println!("{}", figures::table3(&results).printable());
+}

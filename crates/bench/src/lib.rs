@@ -1,0 +1,1 @@
+//! Benchmark and reproduction binaries for the paper.

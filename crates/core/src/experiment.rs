@@ -1,0 +1,172 @@
+//! Running one workload × OS experiment end to end.
+
+use analysis::{AnalyzerConfig, Report, TraceAnalyzer};
+use simtime::{SimDuration, SimInstant};
+use trace::{Event, TraceSink};
+use workloads::{pids, Workload};
+
+/// Which simulated operating system to trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Os {
+    /// The Linux 2.6.23.9 model.
+    Linux,
+    /// The Windows Vista model.
+    Vista,
+}
+
+impl Os {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Os::Linux => "Linux",
+            Os::Vista => "Vista",
+        }
+    }
+}
+
+/// One experiment's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Operating system model.
+    pub os: Os,
+    /// Workload.
+    pub workload: Workload,
+    /// Trace length (the paper uses 30 minutes; 90 s for Figure 1).
+    pub duration: SimDuration,
+    /// Random seed (experiments are exactly reproducible).
+    pub seed: u64,
+}
+
+/// The outcome of one experiment.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The parameters that produced it.
+    pub spec: ExperimentSpec,
+    /// Every table/figure's data.
+    pub report: Report,
+    /// CPU wakeups during the run (power analysis).
+    pub wakeups: u64,
+    /// Virtual CPU busy time.
+    pub busy: SimDuration,
+    /// Trace records logged.
+    pub records: u64,
+    /// Modeled instrumentation overhead (records × 89 ns, §3.2).
+    pub logging_overhead: SimDuration,
+}
+
+/// A sink that owns a [`TraceAnalyzer`] and can hand it back.
+struct AnalyzerSink(Option<TraceAnalyzer>);
+
+impl TraceSink for AnalyzerSink {
+    fn record(&mut self, event: &Event) {
+        if let Some(a) = self.0.as_mut() {
+            a.push(event);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The analyzer configuration matching the paper's treatment of each OS.
+pub fn analyzer_config(os: Os, workload: Workload) -> AnalyzerConfig {
+    let mut cfg = match os {
+        Os::Linux => AnalyzerConfig::linux(),
+        Os::Vista => AnalyzerConfig::vista(),
+    };
+    if os == Os::Linux {
+        // The paper filters the X/icewm select loops from Figures 5/6 and
+        // the scatter plots, and plots Xorg's sets in Figure 4.
+        cfg.exclude_pids = pids::linux_filtered();
+        cfg.dot_pids = vec![pids::XORG];
+    }
+    if workload == Workload::Outlook {
+        // Figure 1's grouping.
+        cfg.rate_groups.insert(pids::OUTLOOK, "Outlook".to_owned());
+        cfg.rate_groups.insert(pids::BROWSER, "Browser".to_owned());
+    }
+    cfg
+}
+
+/// Runs one experiment: workload → kernel → streaming analysis → report.
+pub fn run_experiment(spec: ExperimentSpec) -> ExperimentResult {
+    let cfg = analyzer_config(spec.os, spec.workload);
+    run_experiment_with(spec, cfg)
+}
+
+/// Runs one experiment with an explicit analyzer configuration (used by
+/// the classifier-tolerance ablation).
+pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> ExperimentResult {
+    let sink = Box::new(AnalyzerSink(Some(TraceAnalyzer::new(cfg))));
+    let (report, wakeups, busy, records, logging_overhead) = match spec.os {
+        Os::Linux => {
+            let mut kernel = workloads::run_linux(spec.workload, spec.seed, spec.duration, sink);
+            let wakeups = kernel.cpu().wakeups();
+            let busy = kernel.cpu().busy_time();
+            let records = kernel.log().records_logged();
+            let overhead = kernel.log().modeled_overhead();
+            let analyzer = take_analyzer(kernel.log_mut().sink_mut());
+            let report = analyzer.finish(kernel.log().strings());
+            (report, wakeups, busy, records, overhead)
+        }
+        Os::Vista => {
+            let mut kernel = workloads::run_vista(spec.workload, spec.seed, spec.duration, sink);
+            let wakeups = kernel.cpu().wakeups();
+            let busy = kernel.cpu().busy_time();
+            let records = kernel.log().records_logged();
+            let overhead = kernel.log().modeled_overhead();
+            let analyzer = take_analyzer(kernel.log_mut().sink_mut());
+            let report = analyzer.finish(kernel.log().strings());
+            (report, wakeups, busy, records, overhead)
+        }
+    };
+    ExperimentResult {
+        spec,
+        report,
+        wakeups,
+        busy,
+        records,
+        logging_overhead,
+    }
+}
+
+/// Recovers the analyzer from the kernel's sink.
+fn take_analyzer(sink: &mut dyn TraceSink) -> TraceAnalyzer {
+    sink.as_any_mut()
+        .and_then(|a| a.downcast_mut::<AnalyzerSink>())
+        .and_then(|s| s.0.take())
+        .expect("experiment sink is always an AnalyzerSink")
+}
+
+/// Convenience: runs all four Table 1/2 workloads on one OS.
+pub fn run_table_workloads(os: Os, duration: SimDuration, seed: u64) -> Vec<ExperimentResult> {
+    Workload::TABLE_WORKLOADS
+        .iter()
+        .map(|&workload| {
+            run_experiment(ExperimentSpec {
+                os,
+                workload,
+                duration,
+                seed,
+            })
+        })
+        .collect()
+}
+
+/// The duration knob shared by reproduction binaries: full paper length
+/// by default, scaled down via the `REPRO_SECONDS` environment variable.
+pub fn repro_duration() -> SimDuration {
+    match std::env::var("REPRO_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(secs) if secs > 0 => SimDuration::from_secs(secs),
+        _ => crate::PAPER_DURATION,
+    }
+}
+
+/// Boot instant re-export for binaries.
+pub fn boot() -> SimInstant {
+    SimInstant::BOOT
+}

@@ -1,0 +1,36 @@
+//! `timerstudy` — the top-level experiment API of the reproduction.
+//!
+//! One call runs a paper workload on a simulated OS, streams its trace
+//! through the analysis pipeline, and returns a [`Report`] with every
+//! table and figure's data; the [`render`] module turns reports into the
+//! paper's tables and ASCII figures, and [`figures`] packages one driver
+//! per table/figure of the paper (the `bench` crate's binaries are thin
+//! wrappers around these).
+//!
+//! ```
+//! use timerstudy::{run_experiment, ExperimentSpec, Os};
+//! use simtime::SimDuration;
+//! use workloads::Workload;
+//!
+//! let result = run_experiment(ExperimentSpec {
+//!     os: Os::Linux,
+//!     workload: Workload::Idle,
+//!     duration: SimDuration::from_secs(30),
+//!     seed: 7,
+//! });
+//! assert!(result.report.summary.accesses > 0);
+//! ```
+
+pub mod experiment;
+pub mod figures;
+pub mod render;
+
+pub use analysis::Report;
+pub use experiment::{run_experiment, ExperimentResult, ExperimentSpec, Os};
+pub use workloads::Workload;
+
+/// The paper's trace length: 30 minutes.
+pub const PAPER_DURATION: simtime::SimDuration = simtime::SimDuration::from_secs(30 * 60);
+
+/// The Figure 1 excerpt length: 90 seconds.
+pub const FIG1_DURATION: simtime::SimDuration = simtime::SimDuration::from_secs(90);

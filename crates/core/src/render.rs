@@ -1,0 +1,383 @@
+//! Rendering reports as the paper's tables and ASCII figures.
+
+use analysis::classify::PatternClass;
+use analysis::countdown::Dot;
+use analysis::provenance::ProvenanceRow;
+use analysis::scatter::ScatterPoint;
+use analysis::values::ValueRow;
+use analysis::PatternMix;
+
+use crate::experiment::ExperimentResult;
+
+/// Renders an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            if i == 0 {
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            } else {
+                line.push_str(&" ".repeat(pad));
+                line.push_str(cell);
+            }
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Table 1 / Table 2 trace summary (columns = workloads).
+pub fn summary_table(results: &[ExperimentResult]) -> String {
+    let mut headers = vec![""];
+    let labels: Vec<&str> = results.iter().map(|r| r.spec.workload.label()).collect();
+    headers.extend(labels.iter().copied());
+    let metric = |name: &str, f: &dyn Fn(&ExperimentResult) -> u64| -> Vec<String> {
+        let mut row = vec![name.to_owned()];
+        row.extend(results.iter().map(|r| f(r).to_string()));
+        row
+    };
+    let rows = vec![
+        metric("Timers", &|r| r.report.summary.timers),
+        metric("Concurrency", &|r| r.report.summary.concurrency),
+        metric("Accesses", &|r| r.report.summary.accesses),
+        metric("User-space", &|r| r.report.summary.user_space),
+        metric("Kernel", &|r| r.report.summary.kernel),
+        metric("Set", &|r| r.report.summary.set),
+        metric("Expired", &|r| r.report.summary.expired),
+        metric("Canceled", &|r| r.report.summary.canceled),
+    ];
+    table(&headers, &rows)
+}
+
+/// Renders a value histogram as the paper's bar charts (Figures 3/5/6/7).
+pub fn values_chart(rows: &[ValueRow], show_jiffies: bool, title: &str) -> String {
+    let mut out = format!("{title}\n");
+    let max_pct = rows.iter().map(|r| r.percent).fold(0.0f64, f64::max);
+    for r in rows {
+        let label = if show_jiffies {
+            format!("{:>9} ({:>5})", trim_float(r.seconds), r.jiffies)
+        } else {
+            format!("{:>9}        ", trim_float(r.seconds))
+        };
+        let bar_len = if max_pct > 0.0 {
+            ((r.percent / max_pct) * 40.0).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label}  {:>5.1}%  {}\n",
+            r.percent,
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Formats a seconds value the way the paper labels its axes (no
+/// trailing zeros; 0.4999 stays 0.4999).
+pub fn trim_float(v: f64) -> String {
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Renders the Figure 2 pattern mix for several workloads.
+pub fn pattern_chart(mixes: &[(&str, &PatternMix)]) -> String {
+    let mut headers = vec!["pattern"];
+    headers.extend(mixes.iter().map(|(l, _)| *l));
+    let rows: Vec<Vec<String>> = PatternClass::ALL
+        .iter()
+        .map(|&class| {
+            let mut row = vec![class.label().to_owned()];
+            row.extend(
+                mixes
+                    .iter()
+                    .map(|(_, m)| format!("{:.1}%", m.percent(class))),
+            );
+            row
+        })
+        .collect();
+    table(&headers, &rows)
+}
+
+/// Renders a Figures 8–11 scatter as an ASCII plot: log-x from 0.1 ms to
+/// 10000 s, y from 0 % to 250 %.
+pub fn scatter_plot(points: &[ScatterPoint], title: &str) -> String {
+    const W: usize = 72;
+    const H: usize = 26;
+    let mut grid = vec![vec![' '; W]; H];
+    let x_of = |secs: f64| -> Option<usize> {
+        // log10 range: -4 .. 4 → 0 .. W-1.
+        let lx = secs.log10();
+        if !(-4.0..=4.0).contains(&lx) {
+            return None;
+        }
+        Some((((lx + 4.0) / 8.0) * (W as f64 - 1.0)).round() as usize)
+    };
+    let y_of = |pct: f64| -> usize {
+        let p = pct.clamp(0.0, 250.0);
+        // Row 0 is 250 %, bottom row is 0 %.
+        (H - 1) - ((p / 250.0) * (H as f64 - 1.0)).round() as usize
+    };
+    for p in points {
+        if let Some(x) = x_of(p.seconds) {
+            let y = y_of(p.percent);
+            let ch = match p.count {
+                0..=2 => '.',
+                3..=20 => 'o',
+                21..=200 => 'O',
+                _ => '@',
+            };
+            // Keep the densest marker.
+            let rank = |c: char| match c {
+                '@' => 4,
+                'O' => 3,
+                'o' => 2,
+                '.' => 1,
+                _ => 0,
+            };
+            if rank(ch) > rank(grid[y][x]) {
+                grid[y][x] = ch;
+            }
+        }
+    }
+    let mut out = format!("{title}\n");
+    for (i, row) in grid.iter().enumerate() {
+        let pct = 250.0 * (H - 1 - i) as f64 / (H as f64 - 1.0);
+        let label = if i % 5 == 0 {
+            format!("{pct:>4.0}% |")
+        } else {
+            "      |".to_owned()
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    out.push_str("       0.0001s      0.001       0.01        0.1         1          10         100        1000s\n");
+    out
+}
+
+/// Renders the Figure 4 countdown dot plot.
+pub fn dots_plot(dots: &[Dot], duration_secs: f64, title: &str) -> String {
+    const W: usize = 72;
+    const H: usize = 22;
+    let max_v = dots.iter().map(|d| d.value).fold(1.0f64, f64::max);
+    let mut grid = vec![vec![' '; W]; H];
+    for d in dots {
+        let x = ((d.t / duration_secs) * (W as f64 - 1.0)).round() as usize;
+        let y = (H - 1) - ((d.value / max_v) * (H as f64 - 1.0)).round() as usize;
+        if x < W && y < H {
+            grid[y][x] = '*';
+        }
+    }
+    let mut out = format!("{title}\n");
+    for (i, row) in grid.iter().enumerate() {
+        let v = max_v * (H - 1 - i) as f64 / (H as f64 - 1.0);
+        let label = if i % 4 == 0 {
+            format!("{v:>6.0}s |")
+        } else {
+            "        |".to_owned()
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("        +");
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    out.push_str(&format!(
+        "         0s{:>66}\n",
+        format!("{duration_secs:.0}s")
+    ));
+    out
+}
+
+/// Renders Figure 1's rate series as summary statistics plus a sparkline
+/// per group.
+pub fn rate_table(series: &[(&str, &[u32])], seconds: usize) -> String {
+    let mut rows = Vec::new();
+    for (group, s) in series {
+        let shown = &s[..s.len().min(seconds)];
+        let mean = if shown.is_empty() {
+            0.0
+        } else {
+            shown.iter().map(|&c| c as f64).sum::<f64>() / shown.len() as f64
+        };
+        let peak = shown.iter().copied().max().unwrap_or(0);
+        // One sparkline char per ~second bucket, log scaled.
+        let spark: String = shown
+            .iter()
+            .step_by((shown.len() / 60).max(1))
+            .map(|&c| match c {
+                0 => ' ',
+                1..=9 => '.',
+                10..=99 => ':',
+                100..=999 => '|',
+                _ => '#',
+            })
+            .collect();
+        rows.push(vec![
+            group.to_string(),
+            format!("{mean:.0}"),
+            peak.to_string(),
+            spark,
+        ]);
+    }
+    table(
+        &[
+            "group",
+            "mean/s",
+            "peak/s",
+            "timers set (log scale, 1 char/s)",
+        ],
+        &rows,
+    )
+}
+
+/// Renders Table 3.
+pub fn provenance_table(rows: &[ProvenanceRow]) -> String {
+    let mut body = Vec::new();
+    for r in rows {
+        for (i, (origin, class, count)) in r.origins.iter().enumerate() {
+            body.push(vec![
+                if i == 0 {
+                    trim_float(r.seconds)
+                } else {
+                    String::new()
+                },
+                origin.clone(),
+                class.clone(),
+                count.to_string(),
+            ]);
+        }
+    }
+    table(&["Timeout [s]", "Origin", "Class", "Sets"], &body)
+}
+
+/// CSV for a value histogram.
+pub fn values_csv(rows: &[ValueRow]) -> String {
+    let mut out = String::from("seconds,jiffies,count,percent\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.4}\n",
+            r.seconds, r.jiffies, r.count, r.percent
+        ));
+    }
+    out
+}
+
+/// CSV for scatter points.
+pub fn scatter_csv(points: &[ScatterPoint]) -> String {
+    let mut out = String::from("seconds,percent,count,mostly_expired\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:.6},{},{},{}\n",
+            p.seconds, p.percent, p.count, p.mostly_expired
+        ));
+    }
+    out
+}
+
+/// CSV for Figure 4 dots.
+pub fn dots_csv(dots: &[Dot]) -> String {
+    let mut out = String::from("t_seconds,value_seconds\n");
+    for d in dots {
+        out.push_str(&format!("{:.3},{:.4}\n", d.t, d.value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("a     "));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn trim_float_keeps_4999() {
+        assert_eq!(trim_float(0.4999), "0.4999");
+        assert_eq!(trim_float(0.5), "0.5");
+        assert_eq!(trim_float(5.0), "5");
+        assert_eq!(trim_float(0.004), "0.004");
+        assert_eq!(trim_float(0.0), "0");
+    }
+
+    #[test]
+    fn scatter_plot_places_points() {
+        let pts = vec![ScatterPoint {
+            seconds: 1.0,
+            percent: 100.0,
+            count: 500,
+            mostly_expired: true,
+        }];
+        let plot = scatter_plot(&pts, "test");
+        assert!(plot.contains('@'));
+    }
+
+    #[test]
+    fn empty_inputs_render_gracefully() {
+        assert!(values_chart(&[], true, "t").starts_with("t"));
+        let plot = scatter_plot(&[], "empty");
+        assert!(plot.contains("empty"));
+        assert!(plot.lines().count() > 20);
+        let dots = dots_plot(&[], 100.0, "none");
+        assert!(dots.contains("none"));
+        assert_eq!(rate_table(&[], 90).lines().count(), 2);
+    }
+
+    #[test]
+    fn values_chart_has_bars() {
+        let rows = vec![ValueRow {
+            seconds: 0.5,
+            jiffies: 125,
+            count: 100,
+            percent: 50.0,
+        }];
+        let chart = values_chart(&rows, true, "fig");
+        assert!(chart.contains("0.5"));
+        assert!(chart.contains("125"));
+        assert!(chart.contains("####"));
+    }
+}

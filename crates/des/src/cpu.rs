@@ -1,0 +1,164 @@
+//! Virtual CPU accounting: busy time, idle time and wakeups.
+
+use simtime::{SimDuration, SimInstant};
+
+/// Tracks how much virtual CPU time is spent busy and how often an idle
+/// CPU is woken.
+///
+/// A *wakeup* is recorded whenever work arrives while the CPU has been
+/// idle for at least the doze threshold (default: one microsecond). This is
+/// the quantity the kernel's dynticks/deferrable-timer work (paper §2.1)
+/// and the "better notion of time" proposal (§5.3) try to minimise: each
+/// wakeup forces the processor out of a low-power mode.
+#[derive(Debug, Clone)]
+pub struct CpuMeter {
+    busy: SimDuration,
+    wakeups: u64,
+    busy_until: SimInstant,
+    doze_threshold: SimDuration,
+    /// Whether any work has been charged yet (the first work after boot
+    /// always counts as a wakeup — the CPU starts idle).
+    started: bool,
+    /// Wakeup timestamps bucketed per second, for rate series.
+    wakeups_per_sec: Vec<u32>,
+}
+
+impl Default for CpuMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuMeter {
+    /// Creates a meter with the default 1 µs doze threshold.
+    pub fn new() -> Self {
+        CpuMeter {
+            busy: SimDuration::ZERO,
+            wakeups: 0,
+            busy_until: SimInstant::BOOT,
+            doze_threshold: SimDuration::from_micros(1),
+            started: false,
+            wakeups_per_sec: Vec::new(),
+        }
+    }
+
+    /// Overrides the idle period after which resumed work counts as a
+    /// wakeup.
+    pub fn with_doze_threshold(mut self, threshold: SimDuration) -> Self {
+        self.doze_threshold = threshold;
+        self
+    }
+
+    /// Charges `cost` of CPU work starting at `at`.
+    ///
+    /// Work that arrives while the CPU is still busy with earlier work is
+    /// serialised after it (single simulated CPU, like the paper's Linux
+    /// setup which ran on one processor).
+    pub fn on_work(&mut self, at: SimInstant, cost: SimDuration) {
+        let was_idle =
+            at >= self.busy_until && (!self.started || at - self.busy_until >= self.doze_threshold);
+        if was_idle {
+            self.wakeups += 1;
+            let sec = at.as_nanos() / 1_000_000_000;
+            if self.wakeups_per_sec.len() <= sec as usize {
+                self.wakeups_per_sec.resize(sec as usize + 1, 0);
+            }
+            self.wakeups_per_sec[sec as usize] += 1;
+        }
+        self.started = true;
+        if at > self.busy_until {
+            self.busy_until = at;
+        }
+        self.busy += cost;
+        self.busy_until += cost;
+    }
+
+    /// Total CPU time charged.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of idle-to-busy wakeups.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// CPU utilisation over a run of length `total`.
+    pub fn utilization(&self, total: SimDuration) -> f64 {
+        if total.is_zero() {
+            0.0
+        } else {
+            self.busy / total
+        }
+    }
+
+    /// Mean wakeups per second over a run of length `total`.
+    pub fn wakeup_rate(&self, total: SimDuration) -> f64 {
+        let secs = total.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.wakeups as f64 / secs
+        }
+    }
+
+    /// Per-second wakeup counts (index = second since boot).
+    pub fn wakeups_per_second(&self) -> &[u32] {
+        &self.wakeups_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimInstant {
+        SimInstant::BOOT + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn counts_wakeups_after_idle() {
+        let mut cpu = CpuMeter::new();
+        cpu.on_work(t(0), SimDuration::from_millis(1));
+        // Arrives while previous work may have just ended: 1 ms gap > 1 µs.
+        cpu.on_work(t(10), SimDuration::from_millis(1));
+        cpu.on_work(t(20), SimDuration::from_millis(1));
+        assert_eq!(cpu.wakeups(), 3);
+        assert_eq!(cpu.busy_time(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn back_to_back_work_is_one_wakeup() {
+        let mut cpu = CpuMeter::new();
+        cpu.on_work(t(0), SimDuration::from_millis(5));
+        // Arrives at 2 ms, while the CPU is still busy until 5 ms.
+        cpu.on_work(t(2), SimDuration::from_millis(1));
+        assert_eq!(cpu.wakeups(), 1);
+        assert_eq!(cpu.busy_time(), SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut cpu = CpuMeter::new();
+        cpu.on_work(t(0), SimDuration::from_millis(250));
+        let u = cpu.utilization(SimDuration::from_secs(1));
+        assert!((u - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_second_buckets() {
+        let mut cpu = CpuMeter::new();
+        cpu.on_work(t(100), SimDuration::from_micros(10));
+        cpu.on_work(t(200), SimDuration::from_micros(10));
+        cpu.on_work(t(1_500), SimDuration::from_micros(10));
+        assert_eq!(cpu.wakeups_per_second(), &[2, 1]);
+        assert!((cpu.wakeup_rate(SimDuration::from_secs(3)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_total_is_zero_rate() {
+        let cpu = CpuMeter::new();
+        assert_eq!(cpu.utilization(SimDuration::ZERO), 0.0);
+        assert_eq!(cpu.wakeup_rate(SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Identifier newtypes for kernel-subsystem objects.
+
+use serde::{Deserialize, Serialize};
+
+/// A TCP connection (socket) identity inside the simulated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConnId(pub u32);
+
+/// An ARP neighbour-cache entry identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NeighId(pub u32);
+
+/// A block-layer request identity (for the IDE command timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReqId(pub u32);

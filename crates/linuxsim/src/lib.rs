@@ -1,0 +1,41 @@
+//! A behavioural model of the Linux 2.6.23.9 timer subsystem.
+//!
+//! This is the kernel the paper instrumented (Debian 4.0, HZ = 250, no
+//! preemption, single CPU). The model reproduces the *mechanisms* that
+//! generate the paper's Linux results:
+//!
+//! * the standard timer interface — `init_timer`, `mod_timer` (the paper's
+//!   `__mod_timer`), `del_timer`, and per-jiffy processing of the
+//!   cascading hierarchical wheel in bottom-half context ([`kernel`],
+//!   [`timers`]);
+//! * jiffy quantisation: relative timeouts round *up* to 4 ms ticks, and
+//!   expiry callbacks run a little after the tick, which is what pushes
+//!   points above 100 % in the paper's Figures 8–11;
+//! * the observed-jitter effect of Section 3.1: kernel code computes an
+//!   absolute expiry from a slightly stale "now", so reconstructed
+//!   relative values jitter by up to 2 ms;
+//! * the recent (for 2008) power extensions: `round_jiffies`, deferrable
+//!   timers and dynticks, used as sparsely as in the real kernel;
+//! * the high-resolution timer base ([`hrtimer`]);
+//! * the user-space syscall layer — `select`/`poll` with their countdown
+//!   semantics (Figure 4), `alarm`, POSIX `timer_settime`, `nanosleep`
+//!   ([`syscalls`]);
+//! * every kernel subsystem Table 3 attributes frequent timeout values to:
+//!   TCP (delayed ACK 40 ms, adaptive RTO with a 204 ms floor, 3 s SYN
+//!   retransmit, 7200 s keepalive), ARP, the block I/O unplug timer
+//!   (1 jiffy), the 30 s IDE command timeout, the USB hub status poll
+//!   (248 ms), kernel workqueues (1 s / 2 s), dirty-page writeback (5 s),
+//!   the clocksource watchdog (0.5 s), the packet scheduler (5 s), the
+//!   e1000 watchdog (2 s), init's child polling (5 s), the console blank
+//!   watchdog and the journal commit timer ([`subsys`]).
+
+pub mod hrtimer;
+pub mod ids;
+pub mod kernel;
+pub mod subsys;
+pub mod syscalls;
+pub mod timers;
+
+pub use ids::{ConnId, NeighId, ReqId};
+pub use kernel::{LinuxConfig, LinuxKernel, Notify};
+pub use timers::{Callback, HkKind, TimerHandle, UserKind};

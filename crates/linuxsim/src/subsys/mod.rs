@@ -1,0 +1,6 @@
+//! Kernel subsystems that use timers — one module per Table 3 origin group.
+
+pub mod arp;
+pub mod blockio;
+pub mod journal;
+pub mod tcp;

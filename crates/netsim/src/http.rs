@@ -1,0 +1,150 @@
+//! An httperf-like closed-loop HTTP load generator.
+//!
+//! The paper drives its webserver workload with httperf generating 30000
+//! requests, 10 in parallel, each in its own connection, with a 5 second
+//! timeout on every connection state. This module models the *client*
+//! side: it decides when each connection opens and how long the server
+//! takes to produce the response; the server-side timer behaviour (Apache
+//! watchdogs, kernel socket timers) lives in the workload model.
+
+use simtime::{LogNormal, Sample, SimDuration, SimInstant, SimRng};
+
+use crate::link::Link;
+
+/// What happened to one generated HTTP request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HttpRequestOutcome {
+    /// When the connection was opened by the client.
+    pub open_at: SimInstant,
+    /// Time from open to the server having the full request (half RTT +
+    /// handshake turn).
+    pub request_in: SimDuration,
+    /// Server think time (page generation).
+    pub service: SimDuration,
+    /// Time for the response to drain back to the client.
+    pub response_out: SimDuration,
+    /// Total connection lifetime as seen by the server.
+    pub total: SimDuration,
+}
+
+/// The closed-loop generator: `parallel` connections in flight; each
+/// completion immediately opens the next, until `total_requests` are done.
+#[derive(Debug)]
+pub struct HttpLoadGen {
+    link: Link,
+    total_requests: u64,
+    parallel: u32,
+    issued: u64,
+    service_dist: LogNormal,
+}
+
+impl HttpLoadGen {
+    /// Creates the paper's configuration: 30000 requests, 10 parallel.
+    pub fn paper_config(link: Link) -> Self {
+        HttpLoadGen::new(link, 30_000, 10)
+    }
+
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallel` is zero.
+    pub fn new(link: Link, total_requests: u64, parallel: u32) -> Self {
+        assert!(parallel > 0, "need at least one parallel connection");
+        HttpLoadGen {
+            link,
+            total_requests,
+            parallel,
+            issued: 0,
+            // Static-file service times: median 1.2 ms, long tail.
+            service_dist: LogNormal::from_median(0.0012, 0.6),
+        }
+    }
+
+    /// Number of connections to open at simulation start.
+    pub fn initial_burst(&self) -> u32 {
+        (self.total_requests.min(self.parallel as u64)) as u32
+    }
+
+    /// Total requests this generator will issue.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Returns `true` when another request may be issued.
+    pub fn has_more(&self) -> bool {
+        self.issued < self.total_requests
+    }
+
+    /// Issues the next request, opening its connection at `open_at`.
+    ///
+    /// Returns `None` when the request budget is exhausted.
+    pub fn next_request(
+        &mut self,
+        open_at: SimInstant,
+        rng: &mut SimRng,
+    ) -> Option<HttpRequestOutcome> {
+        if !self.has_more() {
+            return None;
+        }
+        self.issued += 1;
+        // Handshake (1 RTT) then request transfer (half RTT).
+        let rtt1 = self.link.sample_rtt(rng);
+        let request_in = rtt1 + self.link.sample_rtt(rng) / 2;
+        let service = self.service_dist.sample_duration(rng);
+        let response_out = self.link.sample_rtt(rng) / 2;
+        let total = request_in + service + response_out;
+        Some(HttpRequestOutcome {
+            open_at,
+            request_in,
+            service,
+            response_out,
+            total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issues_exactly_total() {
+        let mut generator = HttpLoadGen::new(Link::lan(), 25, 10);
+        let mut rng = SimRng::new(1);
+        assert_eq!(generator.initial_burst(), 10);
+        let mut n = 0;
+        while generator.next_request(SimInstant::BOOT, &mut rng).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 25);
+        assert!(!generator.has_more());
+    }
+
+    #[test]
+    fn outcome_times_are_consistent() {
+        let mut generator = HttpLoadGen::paper_config(Link::lan());
+        let mut rng = SimRng::new(2);
+        let o = generator.next_request(SimInstant::BOOT, &mut rng).unwrap();
+        assert_eq!(o.total, o.request_in + o.service + o.response_out);
+        assert!(o.total > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn paper_config_is_30000_by_10() {
+        let generator = HttpLoadGen::paper_config(Link::lan());
+        assert_eq!(generator.total_requests(), 30_000);
+        assert_eq!(generator.initial_burst(), 10);
+    }
+
+    #[test]
+    fn small_budget_limits_burst() {
+        let generator = HttpLoadGen::new(Link::lan(), 3, 10);
+        assert_eq!(generator.initial_burst(), 3);
+    }
+}

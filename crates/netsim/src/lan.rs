@@ -1,0 +1,63 @@
+//! Background LAN activity.
+//!
+//! The paper attributes the irregular cancellations of the kernel's
+//! constant five-second ARP timer to "activity on the LAN that is part of
+//! our test environment" (Section 4.3). This module models that ambient
+//! traffic as a Poisson process of ARP-relevant packets (broadcasts,
+//! replies, reachability confirmations) arriving at the host.
+
+use simtime::{Exp, Sample, SimDuration, SimRng};
+
+/// A Poisson source of ARP-relevant background packets.
+#[derive(Debug, Clone)]
+pub struct LanActivity {
+    interarrival: Exp,
+}
+
+impl LanActivity {
+    /// Creates a source with the given mean seconds between packets.
+    pub fn new(mean_interarrival: SimDuration) -> Self {
+        LanActivity {
+            interarrival: Exp::new(mean_interarrival.as_secs_f64()),
+        }
+    }
+
+    /// A departmental LAN: a relevant packet every ~2 s on average.
+    pub fn departmental() -> Self {
+        LanActivity::new(SimDuration::from_secs(2))
+    }
+
+    /// A quiet network segment: every ~30 s.
+    pub fn quiet() -> Self {
+        LanActivity::new(SimDuration::from_secs(30))
+    }
+
+    /// Samples the gap until the next relevant packet.
+    pub fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
+        self.interarrival.sample_duration(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_gap_matches() {
+        let lan = LanActivity::departmental();
+        let mut rng = SimRng::new(1);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| lan.next_gap(&mut rng).as_secs_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn gaps_are_positive() {
+        let lan = LanActivity::quiet();
+        let mut rng = SimRng::new(2);
+        for _ in 0..1_000 {
+            assert!(lan.next_gap(&mut rng) > SimDuration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! A point-to-point link with latency, jitter and loss.
+
+use simtime::{Normal, Sample, SimDuration, SimRng};
+
+/// A duplex link characterised by round-trip latency and loss.
+///
+/// The paper's Linux testbed sat on a gigabit LAN routed to the Internet;
+/// its file-browser example quotes a 130 ms round-trip to the file server.
+/// We model a link as a normally-jittered RTT plus independent per-segment
+/// loss, which is all the kernel timer logic can observe anyway.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Mean round-trip time.
+    pub base_rtt: SimDuration,
+    /// Standard deviation of the RTT jitter.
+    pub jitter: SimDuration,
+    /// Independent probability that a segment (and thus its ACK) is lost.
+    pub loss: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1)`.
+    pub fn new(base_rtt: SimDuration, jitter: SimDuration, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        Link {
+            base_rtt,
+            jitter,
+            loss,
+        }
+    }
+
+    /// A LAN-class link: 0.3 ms RTT, light jitter, no loss.
+    pub fn lan() -> Self {
+        Link::new(
+            SimDuration::from_micros(300),
+            SimDuration::from_micros(50),
+            0.0,
+        )
+    }
+
+    /// The 100 Mb switch used between the Vista server and client.
+    pub fn lan_100mb() -> Self {
+        Link::new(
+            SimDuration::from_micros(500),
+            SimDuration::from_micros(80),
+            0.0,
+        )
+    }
+
+    /// A WAN-class link like the paper's 130 ms file-server example.
+    pub fn wan() -> Self {
+        Link::new(
+            SimDuration::from_millis(130),
+            SimDuration::from_millis(12),
+            0.005,
+        )
+    }
+
+    /// An Internet path with noticeable loss, for the Skype call.
+    pub fn internet_lossy() -> Self {
+        Link::new(
+            SimDuration::from_millis(55),
+            SimDuration::from_millis(8),
+            0.01,
+        )
+    }
+
+    /// Samples one round-trip time (never below a tenth of the base RTT).
+    pub fn sample_rtt(&self, rng: &mut SimRng) -> SimDuration {
+        let floor = self.base_rtt.as_secs_f64() * 0.1;
+        let n = Normal::new(self.base_rtt.as_secs_f64(), self.jitter.as_secs_f64());
+        SimDuration::from_secs_f64(n.sample(rng).max(floor))
+    }
+
+    /// Samples whether a segment is lost.
+    pub fn sample_loss(&self, rng: &mut SimRng) -> bool {
+        self.loss > 0.0 && rng.chance(self.loss)
+    }
+
+    /// Samples the outcome of sending one segment and awaiting its ACK:
+    /// `Some(rtt)` on success, `None` when the segment or ACK was lost.
+    pub fn send_segment(&self, rng: &mut SimRng) -> Option<SimDuration> {
+        if self.sample_loss(rng) {
+            None
+        } else {
+            Some(self.sample_rtt(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_centres_on_base() {
+        let link = Link::wan();
+        let mut rng = SimRng::new(1);
+        let n = 20_000;
+        let sum: f64 = (0..n)
+            .map(|_| link.sample_rtt(&mut rng).as_secs_f64())
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.130).abs() < 0.002, "mean = {mean}");
+    }
+
+    #[test]
+    fn lossless_link_never_drops() {
+        let link = Link::lan();
+        let mut rng = SimRng::new(2);
+        assert!((0..10_000).all(|_| !link.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    fn loss_rate_calibrated() {
+        let link = Link::new(SimDuration::from_millis(10), SimDuration::ZERO, 0.2);
+        let mut rng = SimRng::new(3);
+        let n = 100_000;
+        let losses = (0..n).filter(|_| link.sample_loss(&mut rng)).count();
+        let rate = losses as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn rtt_has_floor() {
+        let link = Link::new(
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(100),
+            0.0,
+        );
+        let mut rng = SimRng::new(4);
+        for _ in 0..10_000 {
+            assert!(link.sample_rtt(&mut rng) >= SimDuration::from_micros(100));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be")]
+    fn invalid_loss_panics() {
+        Link::new(SimDuration::from_millis(1), SimDuration::ZERO, 1.5);
+    }
+}

@@ -1,0 +1,279 @@
+//! Probability distributions used by the workload and network models.
+//!
+//! The workload models need a handful of heavy-tailed and light-tailed
+//! latency/interarrival distributions: exponential (Poisson arrivals),
+//! normal (jitter around a mean RTT), log-normal (service times), Pareto
+//! (heavy-tailed think times), and empirical mixtures (observed discrete
+//! value sets such as Skype's 0 / 0.4999 / 0.5 s timeouts).
+
+use serde::{Deserialize, Serialize};
+
+use crate::instant::SimDuration;
+use crate::rng::SimRng;
+
+/// A distribution that can be sampled with a [`SimRng`].
+pub trait Sample {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// Draws one sample and interprets it as seconds, clamped at zero.
+    fn sample_duration(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.sample(rng).max(0.0))
+    }
+}
+
+/// Exponential distribution with the given mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exp {
+    /// Mean of the distribution (1 / rate).
+    pub mean: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
+        Exp { mean }
+    }
+}
+
+impl Sample for Exp {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        -self.mean * rng.unit_f64_open().ln()
+    }
+}
+
+/// Normal distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation.
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        Normal { mu, sigma }
+    }
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u1 = rng.unit_f64_open();
+        let u2 = rng.unit_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mu + self.sigma * z
+    }
+}
+
+/// Log-normal distribution: `exp(Normal(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with underlying normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        let n = Normal::new(mu, sigma);
+        LogNormal {
+            mu: n.mu,
+            sigma: n.sigma,
+        }
+    }
+
+    /// Creates a log-normal from the desired *median* and a shape factor.
+    ///
+    /// `median` maps to `exp(mu)`; `sigma` is the log-space spread.
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median.is_finite() && median > 0.0);
+        LogNormal::new(median.ln(), sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        Normal {
+            mu: self.mu,
+            sigma: self.sigma,
+        }
+        .sample(rng)
+        .exp()
+    }
+}
+
+/// Pareto distribution (heavy-tailed), `x >= scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Minimum value (scale, `x_m`).
+    pub scale: f64,
+    /// Tail index (shape, `alpha`); smaller is heavier-tailed.
+    pub shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scale or shape are not finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0);
+        assert!(shape.is_finite() && shape > 0.0);
+        Pareto { scale, shape }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.scale / rng.unit_f64_open().powf(1.0 / self.shape)
+    }
+}
+
+/// A weighted discrete (empirical) distribution over `f64` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Empirical {
+    values: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl Empirical {
+    /// Builds an empirical distribution from `(value, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or any weight is negative, or all weights
+    /// are zero.
+    pub fn new(pairs: &[(f64, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "empirical distribution needs values");
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        assert!(
+            pairs.iter().all(|&(_, w)| w >= 0.0) && total > 0.0,
+            "weights must be non-negative with positive sum"
+        );
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for &(v, w) in pairs {
+            acc += w / total;
+            values.push(v);
+            cumulative.push(acc);
+        }
+        // Guard against floating point drift on the last bucket.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Empirical { values, cumulative }
+    }
+
+    /// The distinct values in this distribution.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Sample for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.unit_f64();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.values.len() - 1);
+        self.values[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &impl Sample, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let m = mean_of(&Exp::new(2.5), 1, 200_000);
+        assert!((m - 2.5).abs() < 0.05, "mean = {m}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(10.0, 3.0);
+        let m = mean_of(&d, 2, 200_000);
+        assert!((m - 10.0).abs() < 0.05, "mean = {m}");
+        let mut rng = SimRng::new(3);
+        let var: f64 = (0..200_000)
+            .map(|_| {
+                let x = d.sample(&mut rng) - 10.0;
+                x * x
+            })
+            .sum::<f64>()
+            / 200_000.0;
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "sd = {}", var.sqrt());
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(1.5, 2.0);
+        let mut rng = SimRng::new(4);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::from_median(0.13, 0.5);
+        let mut rng = SimRng::new(5);
+        let mut xs: Vec<f64> = (0..50_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[25_000];
+        assert!((med - 0.13).abs() < 0.01, "median = {med}");
+    }
+
+    #[test]
+    fn empirical_frequencies() {
+        let d = Empirical::new(&[(0.0, 1.0), (0.5, 3.0)]);
+        let mut rng = SimRng::new(6);
+        let n = 100_000;
+        let halves = (0..n).filter(|_| d.sample(&mut rng) == 0.5).count();
+        let frac = halves as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn empirical_single_value() {
+        let d = Empirical::new(&[(7.0, 1.0)]);
+        let mut rng = SimRng::new(7);
+        assert_eq!(d.sample(&mut rng), 7.0);
+    }
+
+    #[test]
+    fn sample_duration_clamps_negative() {
+        let d = Normal::new(-100.0, 0.1);
+        let mut rng = SimRng::new(8);
+        assert_eq!(d.sample_duration(&mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empirical_empty_panics() {
+        Empirical::new(&[]);
+    }
+}

@@ -1,0 +1,215 @@
+//! The Linux jiffy clock and the Vista clock-interrupt period.
+//!
+//! The kernel the paper instrumented (Linux 2.6.23.9, default config) runs
+//! its standard timer interface off a periodic tick at `HZ = 250`, i.e. a
+//! 4 ms jiffy. Timeout values passed to the kernel are rounded **up** to the
+//! next jiffy boundary, which produces the quantisation the paper observes
+//! in the Linux scatter plots (Figures 8–11) and the absence of sub-4 ms
+//! timers in Linux traces.
+//!
+//! Vista instead processes its timer ring on a clock interrupt whose default
+//! period is 15.625 ms (64 Hz), but timers carry 100 ns-resolution due times,
+//! so no jiffy-style quantisation of the *requested* value occurs — only
+//! delivery-time rounding.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::instant::{SimDuration, SimInstant};
+
+/// A tick frequency in Hertz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hz(pub u32);
+
+impl Hz {
+    /// The period of one tick at this frequency.
+    pub fn period(self) -> SimDuration {
+        SimDuration::from_nanos(1_000_000_000 / self.0 as u64)
+    }
+}
+
+/// The Linux timer-interrupt frequency used throughout the study.
+pub const LINUX_HZ: Hz = Hz(250);
+
+/// Vista's default clock-interrupt period (64 Hz => 15.625 ms).
+pub const VISTA_TICK: SimDuration = SimDuration::from_micros(15_625);
+
+/// An absolute time in jiffies since boot, mirroring the kernel's `jiffies`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Jiffies(pub u64);
+
+impl Jiffies {
+    /// Jiffy zero (boot).
+    pub const ZERO: Jiffies = Jiffies(0);
+
+    /// Returns the raw jiffy count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction of a jiffy count.
+    pub fn saturating_sub(self, rhs: Jiffies) -> Jiffies {
+        Jiffies(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Rounds this jiffy value to the next whole second, mirroring the
+    /// kernel's `round_jiffies` (introduced in 2.6.20 to batch wakeups).
+    ///
+    /// Like the kernel, values already on a second boundary are left alone,
+    /// and the rounding always moves the expiry *later* (never earlier) so a
+    /// timeout is never shortened.
+    pub fn round_to_second(self, hz: Hz) -> Jiffies {
+        let per_sec = hz.0 as u64;
+        let rem = self.0 % per_sec;
+        if rem == 0 {
+            self
+        } else {
+            Jiffies(self.0 + (per_sec - rem))
+        }
+    }
+}
+
+impl Add<u64> for Jiffies {
+    type Output = Jiffies;
+    fn add(self, rhs: u64) -> Jiffies {
+        Jiffies(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Jiffies {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Jiffies> for Jiffies {
+    type Output = u64;
+    fn sub(self, rhs: Jiffies) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Jiffies {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}j", self.0)
+    }
+}
+
+/// Converts between nanosecond virtual time and jiffies at a fixed `HZ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JiffyClock {
+    hz: Hz,
+}
+
+impl JiffyClock {
+    /// Creates a jiffy clock at the given frequency.
+    pub const fn new(hz: Hz) -> Self {
+        JiffyClock { hz }
+    }
+
+    /// The clock frequency.
+    pub const fn hz(self) -> Hz {
+        self.hz
+    }
+
+    /// The length of one jiffy.
+    pub fn jiffy(self) -> SimDuration {
+        self.hz.period()
+    }
+
+    /// The current jiffy count at instant `now` (truncating, like the
+    /// kernel's tick counter).
+    pub fn jiffies_at(self, now: SimInstant) -> Jiffies {
+        Jiffies(now.as_nanos() / self.jiffy().as_nanos())
+    }
+
+    /// The instant of the tick that *begins* jiffy `j`.
+    pub fn instant_of(self, j: Jiffies) -> SimInstant {
+        SimInstant::from_nanos(j.0 * self.jiffy().as_nanos())
+    }
+
+    /// Converts a relative timeout to a jiffy count, rounding **up** like
+    /// the kernel's `msecs_to_jiffies`/`timespec_to_jiffies` so a timeout
+    /// never fires early. A zero duration still costs one jiffy — the
+    /// kernel cannot expire a timer in the current tick's past.
+    pub fn duration_to_jiffies(self, d: SimDuration) -> u64 {
+        let per = self.jiffy().as_nanos();
+        let n = d.as_nanos().div_ceil(per);
+        n.max(1)
+    }
+
+    /// Converts a jiffy count to the equivalent duration.
+    pub fn jiffies_to_duration(self, n: u64) -> SimDuration {
+        SimDuration::from_nanos(n * self.jiffy().as_nanos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLK: JiffyClock = JiffyClock::new(LINUX_HZ);
+
+    #[test]
+    fn linux_jiffy_is_4ms() {
+        assert_eq!(CLK.jiffy(), SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn vista_tick_is_15_625ms() {
+        assert_eq!(VISTA_TICK.as_micros(), 15_625);
+    }
+
+    #[test]
+    fn duration_rounds_up_to_jiffies() {
+        assert_eq!(CLK.duration_to_jiffies(SimDuration::from_millis(4)), 1);
+        assert_eq!(CLK.duration_to_jiffies(SimDuration::from_millis(5)), 2);
+        assert_eq!(CLK.duration_to_jiffies(SimDuration::from_millis(8)), 2);
+        // A zero timeout still takes one tick to fire.
+        assert_eq!(CLK.duration_to_jiffies(SimDuration::ZERO), 1);
+        // One second is exactly HZ jiffies.
+        assert_eq!(CLK.duration_to_jiffies(SimDuration::from_secs(1)), 250);
+    }
+
+    #[test]
+    fn jiffies_at_truncates() {
+        assert_eq!(CLK.jiffies_at(SimInstant::from_nanos(0)), Jiffies(0));
+        assert_eq!(
+            CLK.jiffies_at(SimInstant::BOOT + SimDuration::from_millis(3)),
+            Jiffies(0)
+        );
+        assert_eq!(
+            CLK.jiffies_at(SimInstant::BOOT + SimDuration::from_millis(4)),
+            Jiffies(1)
+        );
+    }
+
+    #[test]
+    fn instant_of_inverts_jiffies_at() {
+        for j in [0u64, 1, 17, 250, 123_456] {
+            let inst = CLK.instant_of(Jiffies(j));
+            assert_eq!(CLK.jiffies_at(inst), Jiffies(j));
+        }
+    }
+
+    #[test]
+    fn round_to_second_matches_kernel_semantics() {
+        // 250 jiffies per second at HZ=250.
+        assert_eq!(Jiffies(0).round_to_second(LINUX_HZ), Jiffies(0));
+        assert_eq!(Jiffies(1).round_to_second(LINUX_HZ), Jiffies(250));
+        assert_eq!(Jiffies(250).round_to_second(LINUX_HZ), Jiffies(250));
+        assert_eq!(Jiffies(251).round_to_second(LINUX_HZ), Jiffies(500));
+        assert_eq!(Jiffies(499).round_to_second(LINUX_HZ), Jiffies(500));
+    }
+
+    #[test]
+    fn round_trip_duration_jiffies() {
+        let d = SimDuration::from_secs(5);
+        let j = CLK.duration_to_jiffies(d);
+        assert_eq!(CLK.jiffies_to_duration(j), d);
+    }
+}

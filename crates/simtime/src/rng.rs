@@ -1,0 +1,232 @@
+//! Deterministic random number generation with forkable substreams.
+//!
+//! Every experiment in the reproduction takes a single `u64` seed. Each
+//! simulated subsystem forks its own independent stream from that seed via
+//! [`SimRng::fork`], so the sequence of draws in one subsystem never shifts
+//! the draws seen by another — adding a workload process does not change
+//! what the TCP model does. The core generator is xoshiro256++ seeded
+//! through SplitMix64, both public-domain algorithms with well-studied
+//! statistical quality.
+
+use crate::instant::SimDuration;
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Used for seeding and for hashing fork labels into seed material.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ random number generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    ///
+    /// The seed is expanded through SplitMix64 as recommended by the
+    /// xoshiro authors; any seed (including zero) is valid.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Forks an independent substream identified by a label.
+    ///
+    /// The label is hashed (FNV-1a) together with fresh output from this
+    /// generator, so distinct labels produce uncorrelated streams and the
+    /// same label forked twice produces two distinct streams.
+    pub fn fork(&mut self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        SimRng::new(h ^ self.next_u64())
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `(0, 1]`, safe as a log argument.
+    pub fn unit_f64_open(&mut self) -> f64 {
+        1.0 - self.unit_f64()
+    }
+
+    /// Returns a uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire). The loop rejects the biased
+        // region, which is vanishingly small for the spans we use.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            let low = m as u64;
+            if low >= span.wrapping_neg() % span {
+                return lo + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Returns a uniformly random duration in `[lo, hi)`.
+    pub fn duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        if lo >= hi {
+            return lo;
+        }
+        SimDuration::from_nanos(self.range_u64(lo.as_nanos(), hi.as_nanos()))
+    }
+
+    /// Picks a uniformly random element of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_of_label() {
+        let mut root1 = SimRng::new(7);
+        let mut root2 = SimRng::new(7);
+        let mut f1 = root1.fork("tcp");
+        let mut f2 = root2.fork("arp");
+        // Distinct labels from identical roots give distinct streams.
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn fork_twice_differs() {
+        let mut root = SimRng::new(7);
+        let mut f1 = root.fork("x");
+        let mut f2 = root.fork("x");
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.unit_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn range_u64_covers_bounds() {
+        let mut r = SimRng::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 14);
+            assert!((10..14).contains(&v));
+            seen_lo |= v == 10;
+            seen_hi |= v == 13;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SimRng::new(11);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = SimRng::new(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.unit_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::new(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn duration_between_degenerate() {
+        let mut r = SimRng::new(0);
+        let d = SimDuration::from_secs(1);
+        assert_eq!(r.duration_between(d, d), d);
+    }
+}

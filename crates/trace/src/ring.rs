@@ -1,0 +1,140 @@
+//! A non-overwriting byte ring buffer with relayfs drop semantics.
+//!
+//! The authors sized their 512 MiB relayfs buffer so every trace fit; the
+//! infrastructure guarantees ordering and that "new events cannot overwrite
+//! old logs". We mirror that contract: when the buffer is full, *new*
+//! records are dropped and counted, and previously written data is never
+//! clobbered. Analysis code checks the drop counter to know whether a
+//! trace is complete.
+
+use crate::codec::RECORD_SIZE;
+
+/// A bounded append-only record buffer.
+#[derive(Debug)]
+pub struct RingBuffer {
+    data: Vec<u8>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// Creates a buffer holding up to `capacity_bytes` (rounded down to a
+    /// whole number of records).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` holds less than one record.
+    pub fn new(capacity_bytes: usize) -> Self {
+        let capacity = (capacity_bytes / RECORD_SIZE) * RECORD_SIZE;
+        assert!(
+            capacity >= RECORD_SIZE,
+            "capacity {capacity_bytes} below one record ({RECORD_SIZE})"
+        );
+        RingBuffer {
+            data: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Creates the 512 MiB buffer used in the paper's Linux setup.
+    pub fn relayfs_default() -> Self {
+        RingBuffer::new(512 * 1024 * 1024)
+    }
+
+    /// Appends one encoded record. Returns `false` (and counts a drop) if
+    /// the buffer is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record` is not exactly [`RECORD_SIZE`] bytes.
+    pub fn push_record(&mut self, record: &[u8]) -> bool {
+        assert_eq!(record.len(), RECORD_SIZE, "record must be fixed size");
+        if self.data.len() + RECORD_SIZE > self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.data.extend_from_slice(record);
+        true
+    }
+
+    /// Number of complete records stored.
+    pub fn record_count(&self) -> usize {
+        self.data.len() / RECORD_SIZE
+    }
+
+    /// Number of records dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Bytes currently stored.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Maximum bytes storable.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `true` if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw access to the stored bytes, in write order.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Returns record `index` as a byte slice, if present.
+    pub fn record(&self, index: usize) -> Option<&[u8]> {
+        let start = index.checked_mul(RECORD_SIZE)?;
+        let end = start + RECORD_SIZE;
+        self.data.get(start..end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut ring = RingBuffer::new(RECORD_SIZE * 3);
+        let rec = [7u8; RECORD_SIZE];
+        assert!(ring.push_record(&rec));
+        assert!(ring.push_record(&rec));
+        assert!(ring.push_record(&rec));
+        assert_eq!(ring.record_count(), 3);
+        // Full: drop, never overwrite.
+        assert!(!ring.push_record(&rec));
+        assert_eq!(ring.record_count(), 3);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn capacity_rounds_to_records() {
+        let ring = RingBuffer::new(RECORD_SIZE * 2 + 10);
+        assert_eq!(ring.capacity_bytes(), RECORD_SIZE * 2);
+    }
+
+    #[test]
+    fn record_indexing() {
+        let mut ring = RingBuffer::new(RECORD_SIZE * 2);
+        let a = [1u8; RECORD_SIZE];
+        let b = [2u8; RECORD_SIZE];
+        ring.push_record(&a);
+        ring.push_record(&b);
+        assert_eq!(ring.record(0).unwrap()[0], 1);
+        assert_eq!(ring.record(1).unwrap()[0], 2);
+        assert!(ring.record(2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "below one record")]
+    fn too_small_panics() {
+        RingBuffer::new(RECORD_SIZE - 1);
+    }
+}

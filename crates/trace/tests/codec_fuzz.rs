@@ -1,0 +1,62 @@
+//! Decoder robustness: arbitrary bytes must decode to `Ok` or a clean
+//! error, never panic, and valid records must survive bit-level identity.
+
+use proptest::prelude::*;
+use trace::codec::{self, DecodeError, RECORD_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..3 * RECORD_SIZE)) {
+        let mut slice = &bytes[..];
+        match codec::decode(&mut slice) {
+            Ok(event) => {
+                // A structurally valid record: re-encoding reproduces the
+                // same prefix byte-for-byte (the padding field is zeroed,
+                // so only fuzz inputs with zero padding round-trip; check
+                // semantic equality instead).
+                let mut out = bytes::BytesMut::new();
+                codec::encode(&event, &mut out);
+                let mut reslice = &out[..];
+                let back = codec::decode(&mut reslice).unwrap();
+                prop_assert_eq!(event, back);
+            }
+            Err(DecodeError::Truncated { available }) => {
+                prop_assert!(available < RECORD_SIZE);
+            }
+            Err(DecodeError::BadKind(k)) => {
+                prop_assert!(k > 5);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_exactly(len in 0usize..RECORD_SIZE) {
+        let bytes = vec![0u8; len];
+        let mut slice = &bytes[..];
+        prop_assert_eq!(
+            codec::decode(&mut slice),
+            Err(DecodeError::Truncated { available: len })
+        );
+    }
+}
+
+#[test]
+fn ring_overflow_drops_newest_never_corrupts() {
+    use simtime::SimInstant;
+    use trace::{Event, EventKind, RingBuffer, RingSink, TraceSink};
+
+    // A ring sized for 10 records receives 25: the first 10 survive
+    // intact, 15 are counted as dropped (relayfs drop semantics).
+    let mut sink = RingSink::new(RingBuffer::new(10 * RECORD_SIZE));
+    for i in 0..25u64 {
+        sink.record(&Event::new(SimInstant::from_nanos(i), EventKind::Set, i, 0));
+    }
+    let ring = sink.into_ring();
+    assert_eq!(ring.record_count(), 10);
+    assert_eq!(ring.dropped(), 15);
+    let events = trace::reader::decode_all(&ring).unwrap();
+    let ids: Vec<u64> = events.iter().map(|e| e.timer).collect();
+    assert_eq!(ids, (0..10).collect::<Vec<_>>());
+}

@@ -1,0 +1,40 @@
+//! A behavioural model of the Windows Vista timer stack.
+//!
+//! Section 2.2 of the paper describes Vista's considerably more layered
+//! timer architecture, all of which this crate models:
+//!
+//! * the NT kernel's base `KTIMER` objects and the timer ring processed on
+//!   clock-interrupt expiry, with DPC delivery ([`ktimer`]);
+//! * dispatcher-object waits — `WaitForSingleObject`/`WaitForMultipleObjects`
+//!   with timeouts implemented by a *dedicated KTIMER in the thread
+//!   structure* with a fast-path into the ring, plus `Sleep` ([`waits`]);
+//! * the NT API layer (`NtCreateTimer`/`NtSetTimer`/`NtCancelTimer`) with
+//!   handle-stable timers and APC delivery ([`ntapi`]);
+//! * the NTDLL user-level *threadpool timer* ring — many user timers
+//!   multiplexed over a single kernel timer, so most user-level operations
+//!   never reach the kernel ([`threadpool`]);
+//! * Win32 `SetTimer`/`KillTimer` — auto-repeating GUI timers delivering
+//!   `WM_TIMER` through the message queue ([`win32`]);
+//! * Winsock2 `select`, implemented as a blocking ioctl on `afd.sys` that
+//!   allocates a *fresh KTIMER per call* — the dynamic allocation that
+//!   makes Vista timer identity so hard to track (§3.3) ([`winsock`]);
+//! * the background service population of an idle Vista desktop (26
+//!   processes plus the System/Idle tasks, csrss, svchost, an audio tray
+//!   applet) and the kernel's own ~1000 sets/second ([`services`]);
+//! * dynamic clock-interrupt rate: the default 15.625 ms period drops to
+//!   1 ms when a multimedia application raises the timer resolution, which
+//!   is how Skype-class applications get their millisecond timers.
+
+pub mod kernel;
+pub mod ktimer;
+pub mod ntapi;
+pub mod registry;
+pub mod services;
+pub mod tcpip;
+pub mod threadpool;
+pub mod waits;
+pub mod win32;
+pub mod winsock;
+
+pub use kernel::{VistaConfig, VistaKernel, VistaNotify};
+pub use ktimer::KtHandle;

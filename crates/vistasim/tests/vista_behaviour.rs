@@ -1,0 +1,290 @@
+//! Behavioural tests of the simulated Vista timer stack.
+
+use simtime::{SimDuration, SimInstant, VISTA_TICK};
+use trace::CollectSink;
+use vistasim::kernel::KernelLoadLevel;
+use vistasim::{VistaConfig, VistaKernel, VistaNotify};
+
+fn t(ms: u64) -> SimInstant {
+    SimInstant::BOOT + SimDuration::from_millis(ms)
+}
+
+fn kernel() -> VistaKernel {
+    VistaKernel::new(VistaConfig::default(), Box::new(CollectSink::default()))
+}
+
+#[test]
+fn wait_times_out_and_notifies() {
+    let mut k = kernel();
+    k.register_process(10, "app.exe");
+    k.wait_for_single_object(
+        10,
+        11,
+        "app.exe:WaitForSingleObject",
+        SimDuration::from_millis(50),
+    );
+    assert!(k.is_waiting(10, 11));
+    k.advance_to(t(100));
+    assert!(!k.is_waiting(10, 11));
+    let notes = k.take_notifications();
+    assert!(notes.contains(&VistaNotify::WaitTimedOut { pid: 10, tid: 11 }));
+}
+
+#[test]
+fn signalled_wait_cancels_timeout() {
+    let mut k = kernel();
+    k.wait_for_single_object(10, 11, "app:wait", SimDuration::from_secs(5));
+    k.advance_to(t(100));
+    assert!(k.signal_wait(10, 11));
+    assert!(!k.signal_wait(10, 11));
+    k.advance_to(t(10_000));
+    assert!(!k
+        .take_notifications()
+        .contains(&VistaNotify::WaitTimedOut { pid: 10, tid: 11 }));
+    // The satisfied wait shows up as a cancellation in the counters.
+    assert!(k.log().counts().canceled >= 1);
+}
+
+#[test]
+fn delivery_waits_for_clock_interrupt() {
+    let mut k = kernel();
+    // Default resolution is 15.625 ms; a 1 ms sleep is delivered late, at
+    // the next interrupt — "essentially random times" for short timers.
+    k.sleep(1, 1, "app:Sleep", SimDuration::from_millis(1));
+    k.advance_to(t(15));
+    assert!(
+        k.take_notifications().is_empty(),
+        "nothing before interrupt"
+    );
+    k.advance_to(t(16));
+    let notes = k.take_notifications();
+    assert!(notes.contains(&VistaNotify::WaitTimedOut { pid: 1, tid: 1 }));
+}
+
+#[test]
+fn raised_resolution_tightens_delivery() {
+    let mut k = kernel();
+    k.set_timer_resolution(SimDuration::from_millis(1));
+    assert_eq!(k.resolution(), SimDuration::from_millis(1));
+    k.sleep(1, 1, "skype:Sleep", SimDuration::from_millis(1));
+    k.advance_to(t(2));
+    assert!(k
+        .take_notifications()
+        .contains(&VistaNotify::WaitTimedOut { pid: 1, tid: 1 }));
+}
+
+#[test]
+fn win32_timer_auto_repeats() {
+    let mut k = kernel();
+    k.win32_set_timer(20, 1, "outlook:SetTimer", SimDuration::from_millis(100));
+    k.advance_to(t(1000));
+    let wm: Vec<_> = k
+        .take_notifications()
+        .into_iter()
+        .filter(|n| matches!(n, VistaNotify::WmTimer { pid: 20, id: 1 }))
+        .collect();
+    // ~10 firings in a second (delivery quantised to 15.625 ms interrupts).
+    assert!((8..=11).contains(&wm.len()), "wm = {}", wm.len());
+    assert!(k.win32_kill_timer(20, 1));
+    k.advance_to(t(2000));
+    assert!(k.take_notifications().is_empty());
+}
+
+#[test]
+fn threadpool_masks_non_head_operations() {
+    let mut k = kernel();
+    let sets_before = k.log().counts().set;
+    // First timer arms the kernel timer (head change).
+    k.threadpool_set_timer(30, SimDuration::from_secs(1), None);
+    // Later-due timers are absorbed by the user-level ring.
+    for i in 2..=10u64 {
+        k.threadpool_set_timer(30, SimDuration::from_secs(i), None);
+    }
+    let kernel_sets = k.log().counts().set - sets_before;
+    assert!(kernel_sets <= 2, "kernel sets = {kernel_sets}");
+    assert!(k.threadpool_masked_ops() >= 8);
+}
+
+#[test]
+fn threadpool_callbacks_fire_in_order() {
+    let mut k = kernel();
+    let a = k.threadpool_set_timer(30, SimDuration::from_millis(100), None);
+    let b = k.threadpool_set_timer(30, SimDuration::from_millis(300), None);
+    k.advance_to(t(2_000));
+    let cbs: Vec<u32> = k
+        .take_notifications()
+        .into_iter()
+        .filter_map(|n| match n {
+            VistaNotify::TpCallback { pid: 30, id } => Some(id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cbs, vec![a, b]);
+}
+
+#[test]
+fn periodic_threadpool_timer_repeats() {
+    let mut k = kernel();
+    k.threadpool_set_timer(
+        30,
+        SimDuration::from_millis(100),
+        Some(SimDuration::from_millis(200)),
+    );
+    k.advance_to(t(1_050));
+    let n = k
+        .take_notifications()
+        .iter()
+        .filter(|n| matches!(n, VistaNotify::TpCallback { pid: 30, .. }))
+        .count();
+    assert!((4..=6).contains(&n), "n = {n}");
+}
+
+#[test]
+fn winsock_select_allocates_fresh_ktimers() {
+    let mut k = kernel();
+    let mut addrs = Vec::new();
+    for i in 0..5u64 {
+        k.advance_to(t(100 * (i + 1)));
+        k.winsock_select(40, 41, "firefox:select", SimDuration::from_millis(10));
+        k.advance_to(t(100 * (i + 1) + 5));
+        k.winsock_ready(40, 41);
+        let _ = addrs.len();
+        addrs.push(k.ktimers().live_count());
+    }
+    // Each call allocated and freed its own object; live count stays flat
+    // but the handle space advanced (fresh objects).
+    assert_eq!(k.winsock_inflight(), 0);
+}
+
+#[test]
+fn winsock_select_timeout_notifies() {
+    let mut k = kernel();
+    k.winsock_select(40, 41, "firefox:select", SimDuration::from_millis(20));
+    k.advance_to(t(50));
+    assert!(k
+        .take_notifications()
+        .contains(&VistaNotify::SelectTimedOut { pid: 40, tid: 41 }));
+    assert_eq!(k.winsock_inflight(), 0);
+}
+
+#[test]
+fn nt_timers_are_handle_stable() {
+    let mut k = kernel();
+    let slot = k.nt_create_timer(50, "svchost:NtCreateTimer");
+    assert!(k.nt_set_timer(50, slot, SimDuration::from_millis(200)));
+    k.advance_to(t(100));
+    assert!(k.nt_cancel_timer(50, slot));
+    assert!(k.nt_set_timer(50, slot, SimDuration::from_millis(100)));
+    k.advance_to(t(300));
+    assert!(k
+        .take_notifications()
+        .iter()
+        .any(|n| matches!(n, VistaNotify::NtTimerExpired { pid: 50, .. })));
+    assert!(k.nt_close_timer(50, slot));
+    assert!(!k.nt_set_timer(50, slot, SimDuration::from_millis(1)));
+}
+
+#[test]
+fn kernel_load_levels_differ() {
+    let run = |level| {
+        let cfg = VistaConfig {
+            kernel_load: level,
+            ..VistaConfig::default()
+        };
+        let mut k = VistaKernel::new(cfg, Box::new(trace::NullSink));
+        k.advance_to(t(10_000));
+        k.log().counts().set as f64 / 10.0
+    };
+    let idle_rate = run(KernelLoadLevel::Idle);
+    let desktop_rate = run(KernelLoadLevel::Desktop);
+    // Figure 1: the kernel sets ~1000 timers/s on a desktop; the idle
+    // population is an order of magnitude quieter.
+    assert!((40.0..300.0).contains(&idle_rate), "idle = {idle_rate}/s");
+    assert!(
+        (600.0..2000.0).contains(&desktop_rate),
+        "desktop = {desktop_rate}/s"
+    );
+    assert!(desktop_rate > 4.0 * idle_rate);
+}
+
+#[test]
+fn vista_expiries_dominate_cancellations_for_gui_loads() {
+    let mut k = kernel();
+    // A GUI app with repeating timers, like the paper's browser.
+    k.win32_set_timer(60, 1, "browser:SetTimer", SimDuration::from_millis(50));
+    k.win32_set_timer(60, 2, "browser:SetTimer", SimDuration::from_millis(250));
+    k.advance_to(t(30_000));
+    let c = k.log().counts();
+    assert!(
+        c.expired > 10 * c.canceled.max(1),
+        "expired = {}, canceled = {}",
+        c.expired,
+        c.canceled
+    );
+}
+
+#[test]
+fn waitable_timer_wraps_nt_layer() {
+    let mut k = kernel();
+    let h = k.create_waitable_timer(80, "outlook:CreateWaitableTimer");
+    assert!(k.set_waitable_timer(80, h, SimDuration::from_millis(100), None));
+    // Cancelled before expiry: the §2.2.1 upcall-assertion idiom.
+    k.advance_to(t(20));
+    assert!(k.cancel_waitable_timer(80, h));
+    k.advance_to(t(500));
+    assert!(k.take_notifications().is_empty());
+    // Re-armed and left to expire.
+    assert!(k.set_waitable_timer(80, h, SimDuration::from_millis(50), None));
+    k.advance_to(t(600));
+    assert!(k
+        .take_notifications()
+        .iter()
+        .any(|n| matches!(n, VistaNotify::NtTimerExpired { pid: 80, .. })));
+}
+
+#[test]
+fn periodic_nt_timer_auto_repeats() {
+    let mut k = kernel();
+    let slot = k.nt_create_timer(55, "taskeng:NtSetTimer");
+    k.nt_set_timer_periodic(
+        55,
+        slot,
+        SimDuration::from_millis(100),
+        Some(SimDuration::from_millis(200)),
+    );
+    k.advance_to(t(1_100));
+    let n = k
+        .take_notifications()
+        .iter()
+        .filter(|n| matches!(n, VistaNotify::NtTimerExpired { pid: 55, .. }))
+        .count();
+    // First at ~100 ms, then every 200 ms: ~6 by 1.1 s.
+    assert!((4..=7).contains(&n), "n = {n}");
+    assert!(k.nt_cancel_timer(55, slot));
+    k.advance_to(t(3_000));
+    assert!(k.take_notifications().is_empty());
+}
+
+#[test]
+fn registry_lazy_close_defers_then_fires() {
+    let mut k = kernel();
+    // Four accesses 1 s apart each defer the 5 s close...
+    for i in 0..4u64 {
+        k.advance_to(t(1_000 * (i + 1)));
+        k.registry_access(70);
+    }
+    assert_eq!(k.registry_closes(), 0);
+    // ...then the process goes idle and the close fires once.
+    k.advance_to(t(20_000));
+    assert_eq!(k.registry_closes(), 1);
+    // A new burst restarts the cycle.
+    k.registry_access(70);
+    k.advance_to(t(30_000));
+    assert_eq!(k.registry_closes(), 2);
+}
+
+#[test]
+fn interrupt_period_default_matches_vista() {
+    let k = kernel();
+    assert_eq!(k.resolution(), VISTA_TICK);
+}

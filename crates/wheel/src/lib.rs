@@ -1,0 +1,34 @@
+//! Timer priority-queue data structures.
+//!
+//! Both kernels studied in the paper multiplex an unbounded set of software
+//! timers onto a single hardware tick using a variant of *timing wheels*
+//! (Varghese & Lauck, SOSP'87). This crate implements the data structures
+//! underneath the two simulated kernels, plus two baselines, behind one
+//! [`TimerQueue`] trait:
+//!
+//! * [`HierarchicalWheel`] — the Linux `kernel/timer.c` design: a 256-slot
+//!   base wheel (`tv1`) and four 64-slot coarser wheels (`tv2`–`tv5`) that
+//!   cascade entries downwards as time advances. O(1) set/cancel, amortised
+//!   O(1) per-tick processing.
+//! * [`HashedWheel`] — Varghese & Lauck "scheme 6": a single wheel of `N`
+//!   slots hashed by expiry tick, with entries that may need several
+//!   revolutions before firing.
+//! * [`HeapQueue`] — a binary min-heap with lazy deletion, the textbook
+//!   priority-queue alternative (O(log n) set).
+//! * [`SortedList`] — a sorted vector, the historical BSD `callout` list
+//!   baseline (O(n) set, O(1) pop).
+//!
+//! All four are deterministic: timers scheduled for the same tick fire in
+//! the order they were scheduled (FIFO), mirroring kernel behaviour.
+
+pub mod api;
+pub mod hashed;
+pub mod heap;
+pub mod hierarchical;
+pub mod sortedlist;
+
+pub use api::{Tick, TimerId, TimerQueue};
+pub use hashed::HashedWheel;
+pub use heap::HeapQueue;
+pub use hierarchical::HierarchicalWheel;
+pub use sortedlist::SortedList;

@@ -1,0 +1,133 @@
+//! A sorted-vector timer queue — the historical BSD `callout`-list baseline.
+//!
+//! Early Unix kernels (including the 6th Edition code the paper cites as
+//! the unchanged ancestor of today's interfaces) kept pending timeouts in a
+//! single list sorted by expiry. Insertion is O(n), cancellation O(n), and
+//! expiry O(1) per fired timer. It is included as the baseline the timing
+//! wheels were invented to replace.
+
+use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
+
+/// A sorted-vector timer queue.
+#[derive(Debug, Default)]
+pub struct SortedList {
+    /// Entries sorted by (tick, sequence); the front is the earliest.
+    entries: Vec<(Tick, u64, TimerId)>,
+    active: ActiveSet,
+    gen_counter: u64,
+    current: Tick,
+}
+
+impl SortedList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TimerQueue for SortedList {
+    fn schedule(&mut self, id: TimerId, expires: Tick) {
+        // Eager removal of any previous entry: the list stays exact, which
+        // is what makes it O(n) and the honest baseline.
+        if self.active.is_pending(id) {
+            self.entries.retain(|&(_, _, eid)| eid != id);
+        }
+        let mut gen_counter = self.gen_counter;
+        let generation = self.active.arm(id, expires, &mut gen_counter);
+        self.gen_counter = gen_counter;
+        let effective = expires.max(self.current + 1);
+        let key = (effective, generation, id);
+        let pos = self.entries.partition_point(|e| *e <= key);
+        self.entries.insert(pos, key);
+    }
+
+    fn cancel(&mut self, id: TimerId) -> bool {
+        if self.active.disarm(id) {
+            self.entries.retain(|&(_, _, eid)| eid != id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_pending(&self, id: TimerId) -> bool {
+        self.active.is_pending(id)
+    }
+
+    fn advance_to(&mut self, now: Tick, fire: &mut dyn FnMut(TimerId, Tick)) {
+        self.current = now;
+        loop {
+            match self.entries.first() {
+                Some(&(tick, generation, id)) if tick <= now => {
+                    self.entries.remove(0);
+                    if let Some(expires) = self.active.take_if_live(id, generation) {
+                        fire(id, expires);
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.current
+    }
+
+    fn next_expiry(&self) -> Option<Tick> {
+        self.active.min_expiry()
+    }
+
+    fn len(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_fired(w: &mut SortedList, to: Tick) -> Vec<(TimerId, Tick)> {
+        let mut fired = Vec::new();
+        w.advance_to(to, &mut |id, exp| fired.push((id, exp)));
+        fired
+    }
+
+    #[test]
+    fn fires_in_order() {
+        let mut w = SortedList::new();
+        w.schedule(1, 30);
+        w.schedule(2, 10);
+        w.schedule(3, 20);
+        assert_eq!(collect_fired(&mut w, 25), vec![(2, 10), (3, 20)]);
+        assert_eq!(collect_fired(&mut w, 30), vec![(1, 30)]);
+    }
+
+    #[test]
+    fn cancel_is_eager() {
+        let mut w = SortedList::new();
+        w.schedule(1, 10);
+        w.schedule(2, 20);
+        assert!(w.cancel(1));
+        assert_eq!(w.len(), 1);
+        assert_eq!(collect_fired(&mut w, 30), vec![(2, 20)]);
+    }
+
+    #[test]
+    fn reschedule_replaces_entry() {
+        let mut w = SortedList::new();
+        w.schedule(1, 10);
+        w.schedule(1, 40);
+        assert!(collect_fired(&mut w, 30).is_empty());
+        assert_eq!(collect_fired(&mut w, 40), vec![(1, 40)]);
+    }
+
+    #[test]
+    fn fifo_ties() {
+        let mut w = SortedList::new();
+        for id in 0..5 {
+            w.schedule(id, 3);
+        }
+        let ids: Vec<TimerId> = collect_fired(&mut w, 3).iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: all four timer-queue implementations are observationally
+//! equivalent under arbitrary schedule / cancel / advance sequences.
+
+use proptest::prelude::*;
+use wheel::{HashedWheel, HeapQueue, HierarchicalWheel, SortedList, Tick, TimerId, TimerQueue};
+
+/// One operation in a randomly generated trace.
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule { id: TimerId, delta: u64 },
+    Cancel { id: TimerId },
+    Advance { delta: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..8, 0u64..5_000).prop_map(|(id, delta)| Op::Schedule { id, delta }),
+        (0u64..8).prop_map(|id| Op::Cancel { id }),
+        (1u64..3_000).prop_map(|delta| Op::Advance { delta }),
+    ]
+}
+
+/// Applies an op sequence, returning every (fire-tick, id, armed-expiry).
+fn run(queue: &mut dyn TimerQueue, ops: &[Op]) -> Vec<(Tick, TimerId, Tick)> {
+    let mut fired = Vec::new();
+    let mut now = 0u64;
+    for op in ops {
+        match *op {
+            Op::Schedule { id, delta } => queue.schedule(id, now + delta),
+            Op::Cancel { id } => {
+                queue.cancel(id);
+            }
+            Op::Advance { delta } => {
+                now += delta;
+                let mut local = Vec::new();
+                queue.advance_to(now, &mut |id, exp| local.push(id_exp(now, id, exp)));
+                fired.extend(local);
+            }
+        }
+    }
+    // Drain everything left so trailing timers are compared too. Schedule
+    // deltas are bounded by 5000 ticks, so a 6000-tick drain is exhaustive
+    // (the tick-at-a-time wheels make huge drains prohibitively slow).
+    now += 6_000;
+    queue.advance_to(now, &mut |id, exp| fired.push((now, id, exp)));
+    assert!(queue.is_empty(), "drain horizon must cover all timers");
+    fired
+}
+
+fn id_exp(now: Tick, id: TimerId, exp: Tick) -> (Tick, TimerId, Tick) {
+    (now, id, exp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_queues_equivalent(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let mut hier = HierarchicalWheel::new();
+        let mut hashed = HashedWheel::new(64);
+        let mut heap = HeapQueue::new();
+        let mut list = SortedList::new();
+
+        let a = run(&mut hier, &ops);
+        let b = run(&mut hashed, &ops);
+        let c = run(&mut heap, &ops);
+        let d = run(&mut list, &ops);
+
+        // The per-advance fired multiset must be identical. Exact interleaving
+        // within one advance can differ between structures when multiple ticks
+        // elapse (wheels process per-tick, heap per-expiry), but both orders
+        // are sorted by expiry tick, so compare full sequences after sorting
+        // by (advance point, expiry, id).
+        let norm = |mut v: Vec<(Tick, TimerId, Tick)>| {
+            v.sort();
+            v
+        };
+        let (a, b, c, d) = (norm(a), norm(b), norm(c), norm(d));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(&a, &d);
+    }
+
+    #[test]
+    fn pending_counts_agree(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut hier = HierarchicalWheel::new();
+        let mut heap = HeapQueue::new();
+        let mut now = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Schedule { id, delta } => {
+                    hier.schedule(id, now + delta);
+                    heap.schedule(id, now + delta);
+                }
+                Op::Cancel { id } => {
+                    prop_assert_eq!(hier.cancel(id), heap.cancel(id));
+                }
+                Op::Advance { delta } => {
+                    now += delta;
+                    let mut n1 = 0u32;
+                    let mut n2 = 0u32;
+                    hier.advance_to(now, &mut |_, _| n1 += 1);
+                    heap.advance_to(now, &mut |_, _| n2 += 1);
+                    prop_assert_eq!(n1, n2);
+                }
+            }
+            prop_assert_eq!(hier.len(), heap.len());
+            prop_assert_eq!(hier.next_expiry(), heap.next_expiry());
+        }
+    }
+}
+
+/// Deterministic regression: a dense periodic + timeout mix drains fully.
+#[test]
+fn mixed_workload_drains() {
+    let mut queues: Vec<Box<dyn TimerQueue>> = vec![
+        Box::new(HierarchicalWheel::new()),
+        Box::new(HashedWheel::with_default_size()),
+        Box::new(HeapQueue::new()),
+        Box::new(SortedList::new()),
+    ];
+    for q in &mut queues {
+        // 100 periodic timers re-armed 50 times each from the callback
+        // would need callback re-entry; emulate by scheduling all rounds.
+        let mut id = 0;
+        for period in [1u64, 5, 25, 250] {
+            for round in 1..=50u64 {
+                q.schedule(id, period * round);
+                id += 1;
+            }
+        }
+        let mut count = 0;
+        q.advance_to(250 * 50, &mut |_, _| count += 1);
+        assert_eq!(count, 200);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Workload driver scaffolding: an event calendar interleaved with a
+//! simulated kernel.
+//!
+//! A workload model is a `World` state machine plus a set of scheduled
+//! closures. The driver alternates between the workload's own calendar
+//! and the kernel's pending timer expiries, so both sides react promptly
+//! (a select that times out re-issues immediately, an ACK arrival cancels
+//! the retransmit timer at the right instant).
+
+use des::Calendar;
+use simtime::{SimDuration, SimInstant, SimRng};
+
+use linuxsim::{LinuxKernel, Notify};
+use vistasim::{VistaKernel, VistaNotify};
+
+/// A scheduled workload action.
+type LinuxAction<W> = Box<dyn FnOnce(&mut LinuxDriver<W>)>;
+
+/// Reactions to Linux kernel notifications.
+pub trait LinuxWorld: Sized {
+    /// Handles one kernel notification.
+    fn on_notify(driver: &mut LinuxDriver<Self>, notify: Notify);
+}
+
+/// The Linux workload driver.
+pub struct LinuxDriver<W: LinuxWorld> {
+    /// The simulated kernel.
+    pub kernel: LinuxKernel,
+    /// Workload randomness.
+    pub rng: SimRng,
+    /// Workload state.
+    pub world: W,
+    calendar: Calendar<LinuxAction<W>>,
+}
+
+impl<W: LinuxWorld> LinuxDriver<W> {
+    /// Creates a driver.
+    pub fn new(kernel: LinuxKernel, rng: SimRng, world: W) -> Self {
+        LinuxDriver {
+            kernel,
+            rng,
+            world,
+            calendar: Calendar::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.kernel.now()
+    }
+
+    /// Schedules an action after `delay`.
+    pub fn after(&mut self, delay: SimDuration, action: impl FnOnce(&mut Self) + 'static) {
+        let at = self.kernel.now() + delay;
+        self.calendar.post(at, Box::new(action));
+    }
+
+    /// Runs the interleaved simulation until `end`.
+    pub fn run_until(&mut self, end: SimInstant) {
+        loop {
+            self.drain_notifications();
+            let next_cal = self.calendar.peek_time();
+            let next_kernel = self.kernel.next_wakeup();
+            // The earliest of: workload event, kernel expiry, the end.
+            let step_to = [next_cal, next_kernel, Some(end)]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("end is always present");
+            if step_to > end {
+                break;
+            }
+            self.kernel.advance_to(step_to);
+            self.drain_notifications();
+            if Some(step_to) == next_cal {
+                while let Some((_, action)) = self.calendar.pop_before(step_to) {
+                    action(self);
+                    self.drain_notifications();
+                }
+            }
+            if step_to == end {
+                break;
+            }
+        }
+        self.kernel.advance_to(end);
+        self.drain_notifications();
+    }
+
+    fn drain_notifications(&mut self) {
+        loop {
+            let notes = self.kernel.take_notifications();
+            if notes.is_empty() {
+                break;
+            }
+            for n in notes {
+                W::on_notify(self, n);
+            }
+        }
+    }
+}
+
+/// A scheduled Vista workload action.
+type VistaAction<W> = Box<dyn FnOnce(&mut VistaDriver<W>)>;
+
+/// Reactions to Vista kernel notifications.
+pub trait VistaWorld: Sized {
+    /// Handles one kernel notification.
+    fn on_notify(driver: &mut VistaDriver<Self>, notify: VistaNotify);
+}
+
+/// The Vista workload driver.
+pub struct VistaDriver<W: VistaWorld> {
+    /// The simulated kernel.
+    pub kernel: VistaKernel,
+    /// Workload randomness.
+    pub rng: SimRng,
+    /// Workload state.
+    pub world: W,
+    calendar: Calendar<VistaAction<W>>,
+}
+
+impl<W: VistaWorld> VistaDriver<W> {
+    /// Creates a driver.
+    pub fn new(kernel: VistaKernel, rng: SimRng, world: W) -> Self {
+        VistaDriver {
+            kernel,
+            rng,
+            world,
+            calendar: Calendar::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.kernel.now()
+    }
+
+    /// Schedules an action after `delay`.
+    pub fn after(&mut self, delay: SimDuration, action: impl FnOnce(&mut Self) + 'static) {
+        let at = self.kernel.now() + delay;
+        self.calendar.post(at, Box::new(action));
+    }
+
+    /// Runs the interleaved simulation until `end`.
+    pub fn run_until(&mut self, end: SimInstant) {
+        loop {
+            self.drain_notifications();
+            let next_cal = self.calendar.peek_time();
+            let next_kernel = self.kernel.next_wakeup();
+            let step_to = [next_cal, next_kernel, Some(end)]
+                .into_iter()
+                .flatten()
+                .min()
+                .expect("end is always present");
+            if step_to > end {
+                break;
+            }
+            self.kernel.advance_to(step_to);
+            self.drain_notifications();
+            if Some(step_to) == next_cal {
+                while let Some((_, action)) = self.calendar.pop_before(step_to) {
+                    action(self);
+                    self.drain_notifications();
+                }
+            }
+            if step_to == end {
+                break;
+            }
+        }
+        self.kernel.advance_to(end);
+        self.drain_notifications();
+    }
+
+    fn drain_notifications(&mut self) {
+        loop {
+            let notes = self.kernel.take_notifications();
+            if notes.is_empty() {
+                break;
+            }
+            for n in notes {
+                W::on_notify(self, n);
+            }
+        }
+    }
+}

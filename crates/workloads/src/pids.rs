@@ -1,0 +1,43 @@
+//! Well-known process ids used by the workload models.
+//!
+//! Stable pids let the analysis configuration name its filters the way
+//! the paper does ("we filtered timers allocated by X and icewm").
+
+use trace::Pid;
+
+/// The X server.
+pub const XORG: Pid = 100;
+/// The icewm window manager.
+pub const ICEWM: Pid = 101;
+/// syslogd.
+pub const SYSLOGD: Pid = 110;
+/// cron.
+pub const CRON: Pid = 111;
+/// atd.
+pub const ATD: Pid = 112;
+/// inetd.
+pub const INETD: Pid = 113;
+/// portmap.
+pub const PORTMAP: Pid = 114;
+/// Firefox.
+pub const FIREFOX: Pid = 120;
+/// Skype.
+pub const SKYPE: Pid = 130;
+/// Apache (first worker; workers count up from here).
+pub const APACHE: Pid = 140;
+/// Outlook (Vista Figure 1).
+pub const OUTLOOK: Pid = 150;
+/// The browser on the Figure 1 desktop.
+pub const BROWSER: Pid = 151;
+/// csrss.exe (Vista).
+pub const CSRSS: Pid = 160;
+/// svchost.exe instances start here (Vista).
+pub const SVCHOST_BASE: Pid = 161;
+/// The audio-device system-tray applet (Vista).
+pub const AUDIO_TRAY: Pid = 180;
+
+/// The pids the paper filters from the Linux value histograms and
+/// scatter plots.
+pub fn linux_filtered() -> Vec<Pid> {
+    vec![XORG, ICEWM]
+}

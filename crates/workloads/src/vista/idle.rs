@@ -1,0 +1,49 @@
+//! The Vista idle-desktop workload.
+//!
+//! "A standard Vista desktop install, with a user logged in on the
+//! console. No foreground applications were started, but 26 background
+//! processes (in addition to the System and Idle tasks) were running"
+//! (§3.5). Kernel (driver/subsystem) timers dominate; the user side is
+//! the service population's Sleep loops, threadpool periodics, and the
+//! tray applet's GUI timer. Almost everything expires — the Vista trace
+//! signature of Table 2.
+
+use simtime::{SimDuration, SimRng};
+use trace::TraceSink;
+
+use super::{boot_services, finish, resume_sleep_loops, service_sleep_loops, SleepLoop};
+use crate::driver::{VistaDriver, VistaWorld};
+use vistasim::{VistaConfig, VistaKernel, VistaNotify};
+
+/// Idle-desktop state.
+pub struct IdleWorld {
+    loops: Vec<SleepLoop>,
+}
+
+impl VistaWorld for IdleWorld {
+    fn on_notify(driver: &mut VistaDriver<Self>, notify: VistaNotify) {
+        if let VistaNotify::WaitTimedOut { pid, tid } = notify {
+            let loops = driver.world.loops.clone();
+            resume_sleep_loops(driver, &loops, pid, tid);
+        }
+    }
+}
+
+/// Runs the Vista idle workload.
+pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> VistaKernel {
+    let cfg = VistaConfig {
+        seed,
+        ..VistaConfig::default()
+    };
+    let kernel = VistaKernel::new(cfg, sink);
+    let rng = SimRng::new(seed ^ 0x71d1e);
+    let mut driver = VistaDriver::new(
+        kernel,
+        rng,
+        IdleWorld {
+            loops: service_sleep_loops(),
+        },
+    );
+    boot_services(&mut driver);
+    finish(driver, duration)
+}

@@ -1,0 +1,150 @@
+//! Smoke and shape tests for every workload on both OS models.
+//!
+//! Full 30-minute runs belong to the reproduction binaries; these tests
+//! run 1–2 simulated minutes and assert the qualitative shape targets the
+//! paper reports.
+
+use simtime::SimDuration;
+use trace::NullSink;
+use workloads::{run_linux, run_vista, Workload};
+
+const MINUTE: SimDuration = SimDuration::from_secs(60);
+
+#[test]
+fn linux_idle_is_user_dominated() {
+    let k = run_linux(Workload::Idle, 7, MINUTE, Box::new(NullSink));
+    let c = k.log().counts();
+    assert!(c.accesses > 1_000, "accesses = {}", c.accesses);
+    assert!(
+        c.user_space > c.kernel,
+        "idle desktop should be user-dominated: user {} vs kernel {}",
+        c.user_space,
+        c.kernel
+    );
+}
+
+#[test]
+fn linux_firefox_is_much_busier_than_idle() {
+    let idle = run_linux(Workload::Idle, 7, MINUTE, Box::new(NullSink));
+    let ff = run_linux(Workload::Firefox, 7, MINUTE, Box::new(NullSink));
+    let (ci, cf) = (idle.log().counts(), ff.log().counts());
+    assert!(
+        cf.accesses > 5 * ci.accesses,
+        "firefox {} vs idle {}",
+        cf.accesses,
+        ci.accesses
+    );
+    // The paper: 81 % of Firefox sets are cancelled — cancels dominate
+    // expiries heavily.
+    assert!(
+        cf.canceled > 2 * cf.expired,
+        "canceled {} vs expired {}",
+        cf.canceled,
+        cf.expired
+    );
+}
+
+#[test]
+fn linux_webserver_is_kernel_dominated() {
+    let k = run_linux(Workload::Webserver, 7, MINUTE * 2, Box::new(NullSink));
+    let c = k.log().counts();
+    assert!(
+        c.kernel > c.user_space,
+        "webserver should be kernel-dominated: kernel {} vs user {}",
+        c.kernel,
+        c.user_space
+    );
+    // Most webserver sets are cancelled (completions beat timeouts).
+    assert!(
+        c.canceled * 2 > c.expired,
+        "c={} e={}",
+        c.canceled,
+        c.expired
+    );
+}
+
+#[test]
+fn linux_skype_sits_between_idle_and_firefox() {
+    let idle = run_linux(Workload::Idle, 7, MINUTE, Box::new(NullSink));
+    let skype = run_linux(Workload::Skype, 7, MINUTE, Box::new(NullSink));
+    let ff = run_linux(Workload::Firefox, 7, MINUTE, Box::new(NullSink));
+    let (ci, cs, cf) = (idle.log().counts(), skype.log().counts(), ff.log().counts());
+    assert!(
+        ci.accesses < cs.accesses && cs.accesses < cf.accesses,
+        "idle {} < skype {} < firefox {}",
+        ci.accesses,
+        cs.accesses,
+        cf.accesses
+    );
+}
+
+#[test]
+fn vista_traces_are_expiry_dominated() {
+    for w in [Workload::Idle, Workload::Skype, Workload::Firefox] {
+        let k = run_vista(w, 7, MINUTE, Box::new(NullSink));
+        let c = k.log().counts();
+        assert!(
+            c.expired > 3 * c.canceled.max(1),
+            "{w:?}: expired {} vs canceled {}",
+            c.expired,
+            c.canceled
+        );
+    }
+}
+
+#[test]
+fn vista_idle_is_kernel_dominated() {
+    let k = run_vista(Workload::Idle, 7, MINUTE, Box::new(NullSink));
+    let c = k.log().counts();
+    assert!(
+        c.kernel > c.user_space,
+        "kernel {} vs user {}",
+        c.kernel,
+        c.user_space
+    );
+}
+
+#[test]
+fn vista_webserver_kernel_activity_is_near_idle() {
+    // The TCP-wheel effect: despite heavy connection traffic, the
+    // webserver's KTIMER activity stays near idle levels.
+    let idle = run_vista(Workload::Idle, 7, MINUTE * 2, Box::new(NullSink));
+    let web = run_vista(Workload::Webserver, 7, MINUTE * 2, Box::new(NullSink));
+    let (ci, cw) = (idle.log().counts(), web.log().counts());
+    let ratio = cw.kernel as f64 / ci.kernel as f64;
+    assert!(
+        (0.8..1.6).contains(&ratio),
+        "webserver kernel {} vs idle kernel {} (ratio {ratio:.2})",
+        cw.kernel,
+        ci.kernel
+    );
+    assert!(web.vtcp_masked_ops() > 1_000, "wheel must absorb TCP ops");
+}
+
+#[test]
+fn vista_firefox_sets_thousands_per_second() {
+    let k = run_vista(Workload::Firefox, 7, MINUTE, Box::new(NullSink));
+    let c = k.log().counts();
+    let rate = c.set as f64 / 60.0;
+    assert!(
+        (1_000.0..6_000.0).contains(&rate),
+        "firefox vista set rate = {rate}/s"
+    );
+}
+
+#[test]
+fn outlook_desktop_has_bursts() {
+    let k = run_vista(Workload::Outlook, 7, MINUTE, Box::new(NullSink));
+    let c = k.log().counts();
+    // Kernel ~1000 sets/s plus the application load.
+    assert!(c.set > 50_000, "set = {}", c.set);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_linux(Workload::Skype, 42, MINUTE, Box::new(NullSink));
+    let b = run_linux(Workload::Skype, 42, MINUTE, Box::new(NullSink));
+    assert_eq!(a.log().counts(), b.log().counts());
+    let c = run_linux(Workload::Skype, 43, MINUTE, Box::new(NullSink));
+    assert_ne!(a.log().counts(), c.log().counts());
+}

@@ -1,0 +1,77 @@
+//! Idle-power wakeups and batching (paper §2.1 / §5.3).
+//!
+//! ```sh
+//! cargo run --release --example power_wakeups
+//! ```
+
+use adaptive::{Coalescer, TimeSpec};
+use linuxsim::{LinuxConfig, LinuxKernel};
+use simtime::{SimDuration, SimInstant};
+use trace::NullSink;
+
+fn idle_wakeup_rate(dynticks: bool, round: bool, defer: bool) -> f64 {
+    let cfg = LinuxConfig {
+        seed: 9,
+        dynticks,
+        round_all_periodics: round,
+        defer_all_periodics: defer,
+        ..LinuxConfig::default()
+    };
+    let mut kernel = LinuxKernel::new(cfg, Box::new(NullSink));
+    kernel.set_idle(true);
+    kernel.advance_to(SimInstant::BOOT + SimDuration::from_secs(120));
+    kernel.cpu().wakeups() as f64 / 120.0
+}
+
+fn main() {
+    println!("An idle CPU is woken for every timer tick and expiry. The kernel");
+    println!("features the paper discusses (2.1) trade timer precision for sleep:\n");
+    println!(
+        "  always ticking (HZ=250):       {:>8.1} wakeups/s",
+        idle_wakeup_rate(false, false, false)
+    );
+    println!(
+        "  dynticks:                      {:>8.1} wakeups/s",
+        idle_wakeup_rate(true, false, false)
+    );
+    println!(
+        "  dynticks + round_jiffies:      {:>8.1} wakeups/s",
+        idle_wakeup_rate(true, true, false)
+    );
+    println!(
+        "  dynticks + deferrable timers:  {:>8.1} wakeups/s",
+        idle_wakeup_rate(true, false, true)
+    );
+    println!(
+        "  all three:                     {:>8.1} wakeups/s",
+        idle_wakeup_rate(true, true, true)
+    );
+
+    // Section 5.3's generalisation: say what you mean ("wake me at some
+    // convenient time in the next ten minutes") and let a coalescer find
+    // the minimum number of wakeups.
+    let boot = SimInstant::BOOT;
+    let mut coalescer = Coalescer::new();
+    let mut id = 0;
+    for period_ms in [500u64, 1_000, 2_000, 5_000, 5_000, 2_000, 248, 1_000] {
+        let mut t = period_ms;
+        while t <= 30_000 {
+            coalescer.add(
+                id,
+                TimeSpec::Window {
+                    earliest: boot + SimDuration::from_millis(t - period_ms / 3),
+                    latest: boot + SimDuration::from_millis(t + period_ms / 3),
+                },
+            );
+            id += 1;
+            t += period_ms;
+        }
+    }
+    let plan = coalescer.plan(boot + SimDuration::from_secs(60));
+    println!(
+        "\nTimeSpec windows + minimal stabbing: {} housekeeping expiries need only {} wakeups ({} naive)",
+        coalescer.len(),
+        plan.len(),
+        coalescer.naive_wakeup_count()
+    );
+}

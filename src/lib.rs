@@ -1,0 +1,6 @@
+//! Workspace root: re-exports the `timerstudy` experiment API.
+//!
+//! See `timerstudy` for the experiment API; examples live in `examples/`
+//! and cross-crate integration tests in `tests/`.
+
+pub use timerstudy::*;
