@@ -1,8 +1,8 @@
 //! Figure 1: timer usage frequency in Vista (Outlook/Browser/System/Kernel).
-use timerstudy::{figures, run_experiment, ExperimentSpec, Os, Workload, FIG1_DURATION};
+use timerstudy::{cache, figures, ExperimentSpec, Os, Workload, FIG1_DURATION};
 
 fn main() {
-    let result = run_experiment(ExperimentSpec {
+    let result = cache::global().get_or_run(ExperimentSpec {
         os: Os::Vista,
         workload: Workload::Outlook,
         duration: FIG1_DURATION,

@@ -1,9 +1,9 @@
 //! Figure 4: dot plot of X timer usage via select.
 use timerstudy::experiment::repro_duration;
-use timerstudy::{figures, run_experiment, ExperimentSpec, Os, Workload};
+use timerstudy::{cache, figures, ExperimentSpec, Os, Workload};
 
 fn main() {
-    let result = run_experiment(ExperimentSpec {
+    let result = cache::global().get_or_run(ExperimentSpec {
         os: Os::Linux,
         workload: Workload::Idle,
         duration: repro_duration(),

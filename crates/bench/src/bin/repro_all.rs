@@ -1,8 +1,12 @@
 //! Reproduces every table and figure of the paper in one run.
 //!
 //! Full 30-minute traces by default; set `REPRO_SECONDS` to scale down.
-//! With `--artifacts DIR`, each artifact is also written to `DIR` as a
-//! text rendering plus CSV data where applicable.
+//! The nine distinct experiments run in parallel through the experiment
+//! cache (thread count: `REPRO_THREADS`, default = available cores);
+//! `--serial` forces the uncached single-threaded reference path, which
+//! produces bit-identical output. With `--artifacts DIR`, each artifact
+//! is also written to `DIR` as a text rendering plus CSV data where
+//! applicable.
 
 use timerstudy::experiment::repro_duration;
 
@@ -13,15 +17,31 @@ fn main() {
         .position(|a| a == "--artifacts")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let serial = args.iter().any(|a| a == "--serial");
     let duration = repro_duration();
     eprintln!(
-        "running all experiments at {} simulated seconds per trace...",
-        duration.as_secs()
+        "running all experiments at {} simulated seconds per trace ({})...",
+        duration.as_secs(),
+        if serial {
+            "serial reference path".to_owned()
+        } else {
+            format!(
+                "parallel, up to {} threads",
+                timerstudy::parallel::default_threads(9)
+            )
+        }
     );
-    for (index, artifact) in timerstudy::figures::reproduce_all(duration, 7)
-        .iter()
-        .enumerate()
-    {
+    let started = std::time::Instant::now();
+    let artifacts = if serial {
+        timerstudy::figures::reproduce_all_serial(duration, 7)
+    } else {
+        timerstudy::figures::reproduce_all(duration, 7)
+    };
+    eprintln!(
+        "all experiments finished in {:.2} s wall-clock",
+        started.elapsed().as_secs_f64()
+    );
+    for (index, artifact) in artifacts.iter().enumerate() {
         println!("{}", artifact.printable());
         if let Some(dir) = &artifacts_dir {
             std::fs::create_dir_all(dir).expect("create artifacts dir");

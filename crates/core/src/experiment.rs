@@ -25,7 +25,11 @@ impl Os {
 }
 
 /// One experiment's parameters.
-#[derive(Debug, Clone, Copy)]
+///
+/// `Eq + Hash` so a spec can key an [`crate::cache::ExperimentCache`]
+/// entry: two equal specs are guaranteed (by determinism) to produce
+/// identical results, so each distinct spec needs to run only once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExperimentSpec {
     /// Operating system model.
     pub os: Os,
@@ -37,8 +41,20 @@ pub struct ExperimentSpec {
     pub seed: u64,
 }
 
+impl ExperimentSpec {
+    /// The spec for one trial of a multi-trial run: same parameters, with
+    /// the seed derived via [`workloads::trial_seed`] (trial 0 keeps the
+    /// base seed). Stable regardless of the order trials are launched in.
+    pub fn for_trial(self, trial: u32) -> ExperimentSpec {
+        ExperimentSpec {
+            seed: workloads::trial_seed(self.seed, trial),
+            ..self
+        }
+    }
+}
+
 /// The outcome of one experiment.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// The parameters that produced it.
     pub spec: ExperimentSpec,
@@ -139,19 +155,33 @@ fn take_analyzer(sink: &mut dyn TraceSink) -> TraceAnalyzer {
         .expect("experiment sink is always an AnalyzerSink")
 }
 
-/// Convenience: runs all four Table 1/2 workloads on one OS.
-pub fn run_table_workloads(os: Os, duration: SimDuration, seed: u64) -> Vec<ExperimentResult> {
+/// Runs a batch of experiments strictly serially, in spec order.
+///
+/// This is the reference execution path that the parallel runner
+/// ([`crate::parallel::run_experiments_parallel`]) is differentially
+/// tested against: both must produce bit-identical results.
+pub fn run_experiments(specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
+    specs.iter().copied().map(run_experiment).collect()
+}
+
+/// The specs of the four Table 1/2 workloads on one OS.
+pub fn table_specs(os: Os, duration: SimDuration, seed: u64) -> Vec<ExperimentSpec> {
     Workload::TABLE_WORKLOADS
         .iter()
-        .map(|&workload| {
-            run_experiment(ExperimentSpec {
-                os,
-                workload,
-                duration,
-                seed,
-            })
+        .map(|&workload| ExperimentSpec {
+            os,
+            workload,
+            duration,
+            seed,
         })
         .collect()
+}
+
+/// Convenience: runs all four Table 1/2 workloads on one OS, in parallel
+/// through the process-wide experiment cache (repeated calls with the
+/// same parameters reuse the cached reports).
+pub fn run_table_workloads(os: Os, duration: SimDuration, seed: u64) -> Vec<ExperimentResult> {
+    crate::cache::global().run_all(&table_specs(os, duration, seed))
 }
 
 /// The duration knob shared by reproduction binaries: full paper length

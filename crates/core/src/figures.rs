@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 
 use analysis::provenance::ProvenanceRow;
 
-use crate::experiment::{run_experiment, ExperimentResult, ExperimentSpec, Os};
+use crate::experiment::{table_specs, ExperimentResult, ExperimentSpec, Os};
 use crate::render;
 use crate::Workload;
 
@@ -242,32 +242,64 @@ pub fn table3(results: &[ExperimentResult]) -> Artifact {
     }
 }
 
-/// Runs everything the paper reports and returns the artifacts in paper
-/// order. This is the `repro_all` entry point.
-pub fn reproduce_all(duration: simtime::SimDuration, seed: u64) -> Vec<Artifact> {
-    let linux = crate::experiment::run_table_workloads(Os::Linux, duration, seed);
-    let vista = crate::experiment::run_table_workloads(Os::Vista, duration, seed);
-    let outlook = run_experiment(ExperimentSpec {
+/// Every distinct experiment the full reproduction needs, in a fixed
+/// order: the four Table 1 workloads on Linux, the four Table 2
+/// workloads on Vista, then the Figure 1 Outlook desktop (90 s, Vista).
+pub fn paper_specs(duration: simtime::SimDuration, seed: u64) -> Vec<ExperimentSpec> {
+    let mut specs = table_specs(Os::Linux, duration, seed);
+    specs.extend(table_specs(Os::Vista, duration, seed));
+    specs.push(ExperimentSpec {
         os: Os::Vista,
         workload: Workload::Outlook,
         duration: crate::FIG1_DURATION,
         seed,
     });
+    specs
+}
+
+/// Assembles the paper's artifacts from results laid out as
+/// [`paper_specs`] returns them (4 Linux, 4 Vista, 1 Outlook).
+pub fn assemble(results: &[ExperimentResult]) -> Vec<Artifact> {
+    assert_eq!(
+        results.len(),
+        9,
+        "assemble() expects the nine paper_specs results"
+    );
+    let (linux, rest) = results.split_at(4);
+    let (vista, outlook) = rest.split_at(4);
+    let outlook = &outlook[0];
     let mut artifacts = vec![
-        fig01(&outlook),
-        table1(&linux),
-        table2(&vista),
-        fig02(&linux),
-        fig03(&linux),
+        fig01(outlook),
+        table1(linux),
+        table2(vista),
+        fig02(linux),
+        fig03(linux),
         fig04(&linux[0]),
-        fig05(&linux),
-        fig06(&linux),
-        fig07(&vista),
-        table3(&linux),
+        fig05(linux),
+        fig06(linux),
+        fig07(vista),
+        table3(linux),
     ];
     // Figures 8–11: Idle, Skype, Firefox, Webserver in paper order.
     for (i, (l, v)) in linux.iter().zip(vista.iter()).enumerate() {
         artifacts.push(fig_scatter(l, v, 8 + i as u32));
     }
     artifacts
+}
+
+/// Runs everything the paper reports and returns the artifacts in paper
+/// order. This is the `repro_all` entry point: the nine distinct
+/// experiments run in parallel through the process-wide cache, so a
+/// binary that already ran some of them (or calls this twice) never
+/// re-simulates a spec.
+pub fn reproduce_all(duration: simtime::SimDuration, seed: u64) -> Vec<Artifact> {
+    let results = crate::cache::global().run_all(&paper_specs(duration, seed));
+    assemble(&results)
+}
+
+/// The strictly serial, uncached equivalent of [`reproduce_all`] — the
+/// reference path the determinism harness compares against.
+pub fn reproduce_all_serial(duration: simtime::SimDuration, seed: u64) -> Vec<Artifact> {
+    let results = crate::experiment::run_experiments(&paper_specs(duration, seed));
+    assemble(&results)
 }

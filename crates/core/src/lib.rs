@@ -21,12 +21,16 @@
 //! assert!(result.report.summary.accesses > 0);
 //! ```
 
+pub mod cache;
 pub mod experiment;
 pub mod figures;
+pub mod parallel;
 pub mod render;
 
 pub use analysis::Report;
-pub use experiment::{run_experiment, ExperimentResult, ExperimentSpec, Os};
+pub use cache::ExperimentCache;
+pub use experiment::{run_experiment, run_experiments, ExperimentResult, ExperimentSpec, Os};
+pub use parallel::{run_experiments_parallel, run_experiments_parallel_with, run_trials};
 pub use workloads::Workload;
 
 /// The paper's trace length: 30 minutes.

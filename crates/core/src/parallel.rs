@@ -1,0 +1,92 @@
+//! Parallel experiment execution.
+//!
+//! Every experiment is a pure function of its [`ExperimentSpec`]: the
+//! kernel, workload calendar, RNG, and trace sink are all constructed
+//! inside [`run_experiment`] and owned exclusively by the run (sinks are
+//! `Send` and never shared — see `trace::TraceSink`). Fanning specs out
+//! over a scoped thread pool therefore changes wall-clock time and
+//! nothing else; `tests/parallel_determinism.rs` enforces bit-for-bit
+//! equality against the serial path in
+//! [`crate::experiment::run_experiments`].
+//!
+//! Workers pull spec indices from a shared atomic counter (work
+//! stealing), send `(index, result)` pairs over a channel, and the
+//! caller reassembles results in spec order, so scheduling jitter can
+//! never reorder the output.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
+
+/// Picks the worker count: the `REPRO_THREADS` environment variable when
+/// set (and non-zero), otherwise the machine's available parallelism,
+/// never more than the number of specs.
+pub fn default_threads(specs: usize) -> usize {
+    let hw = std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    hw.min(specs).max(1)
+}
+
+/// Runs `specs` across a scoped worker pool, returning results in spec
+/// order. Bit-identical to [`run_experiments`](crate::experiment::run_experiments).
+pub fn run_experiments_parallel(specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
+    run_experiments_parallel_with(specs, default_threads(specs.len()))
+}
+
+/// [`run_experiments_parallel`] with an explicit worker count.
+pub fn run_experiments_parallel_with(
+    specs: &[ExperimentSpec],
+    threads: usize,
+) -> Vec<ExperimentResult> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, specs.len());
+    if threads == 1 {
+        return crate::experiment::run_experiments(specs);
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, ExperimentResult)>();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move |_| {
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&spec) = specs.get(index) else { break };
+                    // A send only fails if the receiver is gone, which
+                    // cannot happen while the scope holds `rx` alive.
+                    let _ = tx.send((index, run_experiment(spec)));
+                }
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    drop(tx);
+    let mut slots: Vec<Option<ExperimentResult>> = (0..specs.len()).map(|_| None).collect();
+    for (index, result) in rx {
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every spec index was claimed by exactly one worker"))
+        .collect()
+}
+
+/// Runs `trials` independent repetitions of `spec` in parallel, one per
+/// derived trial seed (see [`ExperimentSpec::for_trial`]). Results come
+/// back in trial order.
+pub fn run_trials(spec: ExperimentSpec, trials: u32) -> Vec<ExperimentResult> {
+    let specs: Vec<ExperimentSpec> = (0..trials).map(|t| spec.for_trial(t)).collect();
+    run_experiments_parallel(&specs)
+}

@@ -1,0 +1,131 @@
+//! Property tests for the experiment cache's keying invariants and the
+//! per-trial seed derivation they rest on.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use simtime::SimDuration;
+use timerstudy::{ExperimentSpec, Os, Workload};
+use workloads::trial_seed;
+
+fn os_strategy() -> BoxedStrategy<Os> {
+    prop_oneof![Just(Os::Linux), Just(Os::Vista)].boxed()
+}
+
+fn workload_strategy() -> BoxedStrategy<Workload> {
+    prop_oneof![
+        Just(Workload::Idle),
+        Just(Workload::Firefox),
+        Just(Workload::Skype),
+        Just(Workload::Webserver),
+        Just(Workload::Outlook),
+    ]
+    .boxed()
+}
+
+fn spec_strategy() -> BoxedStrategy<ExperimentSpec> {
+    (
+        os_strategy(),
+        workload_strategy(),
+        1u64..10_000,
+        any::<u64>(),
+    )
+        .prop_map(|(os, workload, secs, seed)| ExperimentSpec {
+            os,
+            workload,
+            duration: SimDuration::from_secs(secs),
+            seed,
+        })
+        .boxed()
+}
+
+proptest! {
+    /// Trial 0 must reproduce the historical single-seed runs exactly.
+    #[test]
+    fn trial_zero_keeps_base_seed(base in any::<u64>()) {
+        prop_assert_eq!(trial_seed(base, 0), base);
+    }
+
+    /// Every trial of one experiment sees an independent random stream.
+    #[test]
+    fn trial_seeds_are_distinct(base in any::<u64>(), trials in 2u32..200) {
+        let seeds: HashSet<u64> = (0..trials).map(|t| trial_seed(base, t)).collect();
+        prop_assert_eq!(seeds.len(), trials as usize);
+    }
+
+    /// Seed derivation is a pure function of (base, trial): launch order
+    /// and worker placement cannot change which seed a trial gets.
+    #[test]
+    fn trial_seeds_are_order_independent(base in any::<u64>(), trials in 1u32..64) {
+        let forward: Vec<u64> = (0..trials).map(|t| trial_seed(base, t)).collect();
+        let backward: Vec<u64> = (0..trials).rev().map(|t| trial_seed(base, t)).collect();
+        for (i, seed) in forward.iter().enumerate() {
+            prop_assert_eq!(*seed, backward[trials as usize - 1 - i]);
+        }
+    }
+
+    /// Neighbouring base seeds must not produce colliding trial seeds
+    /// (the derivation mixes, it does not merely offset).
+    #[test]
+    fn neighbouring_bases_do_not_collide(base in 0u64..u64::MAX - 8) {
+        let mut seen = HashSet::new();
+        for b in base..base + 8 {
+            for t in 1..8u32 {
+                prop_assert!(
+                    seen.insert(trial_seed(b, t)),
+                    "seed collision across neighbouring bases"
+                );
+            }
+        }
+    }
+
+    /// `ExperimentSpec` keying: equal specs collapse to one cache entry,
+    /// any parameter difference keeps entries apart, and `for_trial`
+    /// derives keys deterministically.
+    #[test]
+    fn spec_keying_is_consistent(spec in spec_strategy(), trial in 0u32..32) {
+        // Hash/Eq agree: a HashMap keyed by spec finds the same spec.
+        let mut map: HashMap<ExperimentSpec, u32> = HashMap::new();
+        map.insert(spec, 1);
+        map.insert(spec, 2);
+        prop_assert_eq!(map.len(), 1);
+        prop_assert_eq!(map.get(&spec).copied(), Some(2));
+
+        // for_trial is deterministic and only rewrites the seed.
+        let a = spec.for_trial(trial);
+        let b = spec.for_trial(trial);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.os, spec.os);
+        prop_assert_eq!(a.workload, spec.workload);
+        prop_assert_eq!(a.duration, spec.duration);
+        prop_assert_eq!(a.seed, trial_seed(spec.seed, trial));
+
+        // Distinct trials key distinct cache entries.
+        let next = spec.for_trial(trial + 1);
+        map.insert(a, 3);
+        map.insert(next, 4);
+        prop_assert_eq!(map.get(&a).copied(), Some(3));
+        prop_assert_eq!(map.get(&next).copied(), Some(4));
+    }
+
+    /// Changing any single field of a spec changes the cache key.
+    #[test]
+    fn distinct_specs_key_distinct_entries(spec in spec_strategy()) {
+        let other_os = ExperimentSpec {
+            os: match spec.os { Os::Linux => Os::Vista, Os::Vista => Os::Linux },
+            ..spec
+        };
+        let other_duration = ExperimentSpec {
+            duration: spec.duration + SimDuration::from_secs(1),
+            ..spec
+        };
+        let other_seed = ExperimentSpec { seed: spec.seed ^ 1, ..spec };
+        let mut map: HashMap<ExperimentSpec, &str> = HashMap::new();
+        map.insert(spec, "base");
+        map.insert(other_os, "os");
+        map.insert(other_duration, "duration");
+        map.insert(other_seed, "seed");
+        prop_assert_eq!(map.len(), 4);
+        prop_assert_eq!(map.get(&spec).copied(), Some("base"));
+    }
+}

@@ -19,7 +19,12 @@ use crate::ring::RingBuffer;
 use crate::strings::StringTable;
 
 /// A consumer of trace events.
-pub trait TraceSink {
+///
+/// Sinks are `Send` so a whole experiment — kernel, log, and sink — can
+/// run on a worker thread and hand its results back: every run owns its
+/// sink exclusively (share-nothing isolation), which is what makes
+/// parallel experiment execution bit-identical to serial execution.
+pub trait TraceSink: Send {
     /// Receives one event, in timestamp order.
     fn record(&mut self, event: &Event);
 

@@ -212,8 +212,11 @@ mod tests {
     fn minimal_line_round_trips() {
         let mut strings = StringTable::new();
         let origin = strings.intern("x");
-        let e = Event::new(SimInstant::from_nanos(5), EventKind::Cancel, 7, origin)
-            .with_task(3, 4, Space::User);
+        let e = Event::new(SimInstant::from_nanos(5), EventKind::Cancel, 7, origin).with_task(
+            3,
+            4,
+            Space::User,
+        );
         let line = to_line(&e, &strings);
         let back = from_line(&line, &mut strings).unwrap();
         assert_eq!(back.pid, 3);

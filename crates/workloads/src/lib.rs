@@ -25,7 +25,7 @@ pub mod linux;
 pub mod pids;
 pub mod vista;
 
-pub use driver::{LinuxDriver, LinuxWorld, VistaDriver, VistaWorld};
+pub use driver::{trial_seed, LinuxDriver, LinuxWorld, VistaDriver, VistaWorld};
 
 use simtime::SimDuration;
 use trace::TraceSink;

@@ -1,0 +1,81 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 calling
+//! convention (spawn closures receive the scope, `scope()` returns `Err`
+//! if a child panicked) implemented over `std::thread::scope`.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// `Ok` unless a spawned thread panicked.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; threads spawned through it are joined before
+    /// [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it
+        /// can spawn further threads, as in the real crate.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined on exit.
+    /// A panic in any spawned thread surfaces as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let hits = AtomicU32::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .expect("no panics");
+        assert_eq!(out, 7);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn child_panic_is_reported() {
+        let res = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("no panics");
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for `rand` (see `vendor/README.md`).
+//!
+//! The repository's own code uses `simtime::SimRng` for all simulation
+//! randomness; this crate exists so `Cargo.toml` references resolve
+//! offline. It still offers a tiny deterministic generator in case a
+//! future test reaches for the familiar API.
+
+/// A deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// The subset of the `Rng` trait the stand-in supports.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `[lo, hi)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.next_u64() % (range.end - range.start)
+    }
+
+    /// A random boolean.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = a.gen_range(10..20);
+            assert_eq!(x, b.gen_range(10..20));
+            assert!((10..20).contains(&x));
+        }
+    }
+}

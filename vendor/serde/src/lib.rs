@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! `Serialize` is a marker trait with a `Debug` supertrait and a blanket
+//! impl: any `Debug` type "serialises" by way of its debug formatting
+//! (which is what the vendored `serde_json::to_string` renders). The repo
+//! only ever compares serialised output for equality, so debug formatting
+//! is a faithful determinism witness even though it is not JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable values; satisfied by every `Debug` type.
+pub trait Serialize: std::fmt::Debug {}
+
+impl<T: std::fmt::Debug + ?Sized> Serialize for T {}
+
+/// Marker for deserialisable values. The vendored `serde_json::from_str`
+/// cannot construct values, so this carries no behaviour.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialisation alias mirroring the real crate's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

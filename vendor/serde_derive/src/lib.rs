@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The vendored `serde` stand-in provides blanket trait impls, so the
+//! derive macros have nothing to emit; they exist so `#[derive(Serialize,
+//! Deserialize)]` keeps compiling unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

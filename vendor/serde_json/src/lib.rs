@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! `to_string` renders the value's `Debug` formatting — deterministic and
+//! structurally complete, which is all this repository relies on (byte
+//! equality between two serialisations of equal values). `from_str`
+//! cannot reconstruct values without real serde and always errors.
+
+use std::fmt;
+
+/// Error type for (de)serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders `value` as its `Debug` formatting.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(format!("{value:?}"))
+}
+
+/// Multi-line variant; debug-pretty formatting.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(format!("{value:#?}"))
+}
+
+/// Unsupported in the offline stand-in: always returns `Err`.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error(
+        "serde_json::from_str is unsupported in the vendored offline stand-in".to_owned(),
+    ))
+}
