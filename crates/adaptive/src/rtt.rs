@@ -56,7 +56,10 @@ impl RttEstimator {
     }
 
     /// Records an ACK. `rtt` is the measured sample; it is ignored if the
-    /// segment had been retransmitted (Karn's rule).
+    /// segment had been retransmitted (Karn's rule). The backed-off RTO
+    /// persists until a *valid* sample arrives (RFC 6298 §5.7) — without
+    /// this, a sustained RTT shift can lock the estimator into a
+    /// retransmit/discard cycle in which it never learns the new regime.
     pub fn on_ack(&mut self, rtt: SimDuration) {
         if !self.retransmitted {
             let r = rtt.as_secs_f64();
@@ -71,9 +74,9 @@ impl RttEstimator {
                     self.rttvar += (err.abs() - self.rttvar) / 4.0;
                 }
             }
+            self.backoff.reset_to(self.base_rto());
         }
         self.retransmitted = false;
-        self.backoff.reset_to(self.base_rto());
     }
 
     /// Records a retransmission timeout firing: backs off exponentially.

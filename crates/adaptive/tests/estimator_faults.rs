@@ -1,0 +1,174 @@
+//! The adaptive-timeout argument under injected network degradation
+//! (Section 5.1's TCP story, stress-tested with the fault plane).
+//!
+//! A WAN link carries a [`netsim::NetFault::burst`] — ten seconds in
+//! which RTT and jitter quadruple. Two senders ride it side by side on
+//! identical RTT draws: one with a *fixed* retransmission timeout
+//! calibrated to clean conditions (the "30 seconds is not enough" static
+//! sizing the paper criticises, scaled to the link), one with the
+//! Jacobson/Karels [`adaptive::rtt::RttEstimator`]. The adaptive timer
+//! must follow the shifted RTT distribution into and out of the episode;
+//! the fixed timer must rack up spurious retransmissions throughout it.
+
+use adaptive::rtt::RttEstimator;
+use netsim::{Link, NetFault};
+use simtime::{SimDuration, SimInstant, SimRng};
+
+/// One segment send every 100 ms for 20 s; the burst covers [5 s, 15 s).
+const SEND_GAP: SimDuration = SimDuration::from_millis(100);
+const RUN: SimDuration = SimDuration::from_secs(20);
+
+struct Outcome {
+    /// Spurious retransmits: the ACK was in flight, the timer fired first.
+    fixed_spurious: u64,
+    adaptive_spurious: u64,
+    /// Smoothed RTT at the last in-burst send, for tracking checks.
+    srtt_in_burst: Option<SimDuration>,
+    /// Smoothed RTT at the end of the clean warm-up, for the baseline.
+    srtt_clean: Option<SimDuration>,
+}
+
+/// Replays the same RTT draw sequence against both timeout policies.
+fn replay(seed: u64) -> Outcome {
+    let link = Link::wan().with_fault(NetFault::burst());
+    let mut rng = SimRng::new(seed);
+    // Fixed RTO: generous for the clean link (mean 130 ms + 4σ ≈ 180 ms,
+    // doubled), hopeless once the burst quadruples the RTT.
+    let fixed_rto = SimDuration::from_millis(360);
+    let mut est = RttEstimator::with_bounds(
+        SimDuration::from_millis(200),
+        SimDuration::from_secs(120),
+        SimDuration::from_secs(3),
+    );
+    let mut out = Outcome {
+        fixed_spurious: 0,
+        adaptive_spurious: 0,
+        srtt_in_burst: None,
+        srtt_clean: None,
+    };
+    let burst = NetFault::burst();
+    let mut now = SimInstant::BOOT;
+    while now.duration_since(SimInstant::BOOT) < RUN {
+        // One draw decides the segment's fate for both policies.
+        let delivered = link.send_segment_at(now, &mut rng);
+        if let Some(rtt) = delivered {
+            if rtt > fixed_rto {
+                out.fixed_spurious += 1;
+            }
+            if rtt > est.rto() {
+                // The adaptive timer fired before the ACK landed: a
+                // spurious retransmit, and (Karn's rule) no RTT sample.
+                out.adaptive_spurious += 1;
+                est.on_timeout();
+                est.on_ack(rtt); // retransmitted flag eats the sample
+            } else {
+                est.on_ack(rtt);
+            }
+        } else {
+            // Genuine loss: both policies legitimately time out.
+            est.on_timeout();
+            est.on_ack(SimDuration::ZERO); // Karn: ACK of retransmit, no sample
+        }
+        if burst.active_at(now) {
+            out.srtt_in_burst = est.srtt();
+        } else if now < SimInstant::BOOT + burst.start {
+            out.srtt_clean = est.srtt();
+        }
+        now += SEND_GAP;
+    }
+    out
+}
+
+#[test]
+fn adaptive_tracks_the_shifted_rtt_fixed_does_not() {
+    for seed in [1u64, 2, 3] {
+        let out = replay(seed);
+        let clean = out
+            .srtt_clean
+            .expect("warm-up produced samples")
+            .as_secs_f64();
+        let shifted = out
+            .srtt_in_burst
+            .expect("burst produced samples")
+            .as_secs_f64();
+        // Clean-phase estimate sits near the link's 130 ms base RTT.
+        assert!(
+            (0.09..0.2).contains(&clean),
+            "seed {seed}: clean srtt {clean:.3}s is off the 130 ms base"
+        );
+        // By the end of the burst the estimator has followed the ×4 shift
+        // at least half-way (backoff and Karn slow it, they must not stop
+        // it).
+        assert!(
+            shifted > 2.0 * clean,
+            "seed {seed}: srtt {shifted:.3}s never tracked the ×4 burst from {clean:.3}s"
+        );
+        // The fixed timer, sized for clean conditions, fires spuriously
+        // throughout the burst; the adaptive one re-learns and stops.
+        assert!(
+            out.fixed_spurious >= 20,
+            "seed {seed}: fixed RTO saw only {} spurious retransmits across a 10 s ×4 burst",
+            out.fixed_spurious
+        );
+        assert!(
+            out.adaptive_spurious * 3 < out.fixed_spurious,
+            "seed {seed}: adaptive ({}) must spuriously retransmit far less than fixed ({})",
+            out.adaptive_spurious,
+            out.fixed_spurious
+        );
+    }
+}
+
+#[test]
+fn clean_link_produces_no_spurious_retransmits_for_either() {
+    // Without the fault the fixed timer's sizing is adequate: neither
+    // policy fires early (modulo genuine loss, excluded by construction).
+    let link = Link::wan();
+    let mut rng = SimRng::new(9);
+    let fixed_rto = SimDuration::from_millis(360);
+    let mut est = RttEstimator::new();
+    let mut now = SimInstant::BOOT;
+    let mut fixed = 0u64;
+    let mut adaptive = 0u64;
+    while now.duration_since(SimInstant::BOOT) < RUN {
+        if let Some(rtt) = link.send_segment_at(now, &mut rng) {
+            if rtt > fixed_rto {
+                fixed += 1;
+            }
+            if est.srtt().is_some() && rtt > est.rto() {
+                adaptive += 1;
+            }
+            est.on_ack(rtt);
+        }
+        now += SEND_GAP;
+    }
+    assert_eq!(fixed, 0, "fixed RTO fired spuriously on the clean link");
+    assert_eq!(
+        adaptive, 0,
+        "adaptive RTO fired spuriously on the clean link"
+    );
+}
+
+#[test]
+fn estimator_recovers_after_the_burst_ends() {
+    let link = Link::wan().with_fault(NetFault::burst());
+    let mut rng = SimRng::new(4);
+    let mut est = RttEstimator::new();
+    let mut now = SimInstant::BOOT;
+    // Run well past the burst (which ends at 15 s).
+    while now.duration_since(SimInstant::BOOT) < SimDuration::from_secs(40) {
+        if let Some(rtt) = link.send_segment_at(now, &mut rng) {
+            est.on_ack(rtt);
+        } else {
+            est.on_timeout();
+            est.on_ack(SimDuration::ZERO);
+        }
+        now += SEND_GAP;
+    }
+    // 25 s of clean samples after the episode: back near the base RTT.
+    let srtt = est.srtt().unwrap().as_secs_f64();
+    assert!(
+        (0.09..0.25).contains(&srtt),
+        "estimator failed to converge back after the burst: {srtt:.3}s"
+    );
+}

@@ -175,11 +175,12 @@ impl TraceAnalyzer {
 
     /// Finalises into a [`Report`]; `strings` resolves origin labels.
     pub fn finish(self, strings: &StringTable) -> Report {
-        let summary = TraceSummary::from_counts(
+        let mut summary = TraceSummary::from_counts(
             self.counts,
             self.population.count(),
             self.lifecycle.peak_concurrency() as u64,
         );
+        summary.orphan_ends = self.lifecycle.orphan_ends();
         let origin_classifier = &self.origin_classifier;
         let provenance = self.provenance.rows(
             1.0,

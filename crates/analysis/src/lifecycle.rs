@@ -81,11 +81,18 @@ struct Open {
 }
 
 /// The lifecycle reconstructor.
+///
+/// Degrades gracefully on incomplete traces: an end event (cancel or
+/// expiry) whose matching `Set` was lost — a ring overflow ate it — is
+/// counted as an *orphan* and otherwise ignored, so a lossy trace yields
+/// fewer episodes, never fabricated or double-counted ones.
 #[derive(Debug, Default)]
 pub struct LifecycleTracker {
     open: HashMap<TimerAddr, Open>,
     /// Peak number of simultaneously armed timers (Table 1/2 concurrency).
     peak_concurrency: usize,
+    /// End events whose opening `Set` was never seen.
+    orphan_ends: u64,
 }
 
 impl LifecycleTracker {
@@ -113,14 +120,20 @@ impl LifecycleTracker {
                 self.peak_concurrency = self.peak_concurrency.max(self.open.len());
                 prev.map(|o| close(event.timer, o, event.ts, Outcome::Reset))
             }
-            EventKind::Cancel | EventKind::WaitSatisfied => self
-                .open
-                .remove(&event.timer)
-                .map(|o| close(event.timer, o, event.ts, Outcome::Canceled)),
-            EventKind::Expire | EventKind::WaitTimedOut => self
-                .open
-                .remove(&event.timer)
-                .map(|o| close(event.timer, o, event.ts, Outcome::Expired)),
+            EventKind::Cancel | EventKind::WaitSatisfied => match self.open.remove(&event.timer) {
+                Some(o) => Some(close(event.timer, o, event.ts, Outcome::Canceled)),
+                None => {
+                    self.orphan_ends += 1;
+                    None
+                }
+            },
+            EventKind::Expire | EventKind::WaitTimedOut => match self.open.remove(&event.timer) {
+                Some(o) => Some(close(event.timer, o, event.ts, Outcome::Expired)),
+                None => {
+                    self.orphan_ends += 1;
+                    None
+                }
+            },
         }
     }
 
@@ -132,6 +145,12 @@ impl LifecycleTracker {
     /// Number of still-open episodes (armed timers).
     pub fn open_count(&self) -> usize {
         self.open.len()
+    }
+
+    /// End events (cancel/expiry) that matched no open episode — evidence
+    /// of lost `Set` records in an incomplete trace.
+    pub fn orphan_ends(&self) -> u64 {
+        self.orphan_ends
     }
 }
 
@@ -193,6 +212,21 @@ mod tests {
     fn cancel_without_set_is_ignored() {
         let mut lt = LifecycleTracker::new();
         assert!(lt.push(&ev(EventKind::Cancel, 9, 5)).is_none());
+        assert_eq!(lt.orphan_ends(), 1);
+    }
+
+    #[test]
+    fn orphans_count_lost_sets_without_fabricating_episodes() {
+        let mut lt = LifecycleTracker::new();
+        // Expire and WaitTimedOut with no Set: two orphans, no samples.
+        assert!(lt.push(&ev(EventKind::Expire, 3, 1)).is_none());
+        assert!(lt.push(&ev(EventKind::WaitTimedOut, 4, 2)).is_none());
+        assert_eq!(lt.orphan_ends(), 2);
+        // A real episode still reconstructs normally afterwards.
+        lt.push(&ev(EventKind::Set, 3, 10));
+        assert!(lt.push(&ev(EventKind::Expire, 3, 20)).is_some());
+        assert_eq!(lt.orphan_ends(), 2);
+        assert_eq!(lt.open_count(), 0);
     }
 
     #[test]

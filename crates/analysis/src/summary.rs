@@ -24,6 +24,12 @@ pub struct TraceSummary {
     pub expired: u64,
     /// Cancellations.
     pub canceled: u64,
+    /// Records lost before reaching analysis (ring overflow / injected
+    /// drops). Zero on a complete trace.
+    pub dropped_records: u64,
+    /// End events whose opening `Set` was lost — the lifecycle tracker's
+    /// evidence of trace incompleteness. Zero on a complete trace.
+    pub orphan_ends: u64,
 }
 
 impl TraceSummary {
@@ -38,6 +44,8 @@ impl TraceSummary {
             set: counts.set,
             expired: counts.expired,
             canceled: counts.canceled,
+            dropped_records: 0,
+            orphan_ends: 0,
         }
     }
 }

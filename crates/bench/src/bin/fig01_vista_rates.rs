@@ -2,11 +2,11 @@
 use timerstudy::{cache, figures, ExperimentSpec, Os, Workload, FIG1_DURATION};
 
 fn main() {
-    let result = cache::global().get_or_run(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Outlook,
-        duration: FIG1_DURATION,
-        seed: 7,
-    });
+    let result = cache::global().get_or_run(ExperimentSpec::new(
+        Os::Vista,
+        Workload::Outlook,
+        FIG1_DURATION,
+        7,
+    ));
     println!("{}", figures::fig01(&result).printable());
 }

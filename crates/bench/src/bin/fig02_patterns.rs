@@ -16,12 +16,7 @@ fn main() {
             let mut cfg = analyzer_config(Os::Linux, Workload::Idle);
             cfg.tolerance = simtime::SimDuration::from_micros(tol_us);
             let result = run_experiment_with(
-                ExperimentSpec {
-                    os: Os::Linux,
-                    workload: Workload::Idle,
-                    duration,
-                    seed: 7,
-                },
+                ExperimentSpec::new(Os::Linux, Workload::Idle, duration, 7),
                 cfg,
             );
             println!(

@@ -3,12 +3,12 @@ use timerstudy::experiment::repro_duration;
 use timerstudy::{cache, figures, ExperimentSpec, Os, Workload};
 
 fn main() {
-    let result = cache::global().get_or_run(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Idle,
-        duration: repro_duration(),
-        seed: 7,
-    });
+    let result = cache::global().get_or_run(ExperimentSpec::new(
+        Os::Linux,
+        Workload::Idle,
+        repro_duration(),
+        7,
+    ));
     println!("{}", figures::fig04(&result).printable());
     let (detected, flagged) = result.report.countdown_validation;
     println!("countdown detector: {detected} sets detected vs {flagged} ground-truth flagged");

@@ -6,9 +6,13 @@
 //! `--serial` forces the uncached single-threaded reference path, which
 //! produces bit-identical output. With `--artifacts DIR`, each artifact
 //! is also written to `DIR` as a text rendering plus CSV data where
-//! applicable.
+//! applicable. `--faults SPEC` attaches a deterministic fault plane to
+//! every experiment (`SPEC` is a comma list of `drops[=PERMILLE]`,
+//! `net-burst`, `clock-jitter`, `all`, `seed=N`); the summary tables then
+//! gain drop/degradation accounting rows.
 
 use timerstudy::experiment::repro_duration;
+use timerstudy::FaultSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -18,9 +22,23 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let serial = args.iter().any(|a| a == "--serial");
+    let faults = match args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(spec) => match FaultSpec::parse(spec) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("--faults {spec}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => FaultSpec::none(),
+    };
     let duration = repro_duration();
     eprintln!(
-        "running all experiments at {} simulated seconds per trace ({})...",
+        "running all experiments at {} simulated seconds per trace ({}, faults: {})...",
         duration.as_secs(),
         if serial {
             "serial reference path".to_owned()
@@ -29,10 +47,13 @@ fn main() {
                 "parallel, up to {} threads",
                 timerstudy::parallel::default_threads(9)
             )
-        }
+        },
+        faults.label(),
     );
     let started = std::time::Instant::now();
-    let artifacts = if serial {
+    let artifacts = if !faults.is_none() {
+        timerstudy::figures::reproduce_all_faulted(duration, 7, faults)
+    } else if serial {
         timerstudy::figures::reproduce_all_serial(duration, 7)
     } else {
         timerstudy::figures::reproduce_all(duration, 7)

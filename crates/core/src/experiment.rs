@@ -2,8 +2,10 @@
 
 use analysis::{AnalyzerConfig, Report, TraceAnalyzer};
 use simtime::{SimDuration, SimInstant};
-use trace::{Event, TraceSink};
+use trace::{Event, FaultSink, TraceSink};
 use workloads::{pids, Workload};
+
+use crate::faults::FaultSpec;
 
 /// Which simulated operating system to trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,9 +41,31 @@ pub struct ExperimentSpec {
     pub duration: SimDuration,
     /// Random seed (experiments are exactly reproducible).
     pub seed: u64,
+    /// Fault-injection configuration ([`FaultSpec::none`] for the clean
+    /// runs the paper reports). Part of the cache key, so faulted and
+    /// clean runs of the same workload never alias in the memo table.
+    pub faults: FaultSpec,
 }
 
 impl ExperimentSpec {
+    /// A clean (fault-free) spec — the shape every pre-fault-plane spec
+    /// had.
+    pub const fn new(os: Os, workload: Workload, duration: SimDuration, seed: u64) -> Self {
+        ExperimentSpec {
+            os,
+            workload,
+            duration,
+            seed,
+            faults: FaultSpec::none(),
+        }
+    }
+
+    /// The same experiment with fault injection enabled.
+    pub const fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The spec for one trial of a multi-trial run: same parameters, with
     /// the seed derived via [`workloads::trial_seed`] (trial 0 keeps the
     /// base seed). Stable regardless of the order trials are launched in.
@@ -114,29 +138,47 @@ pub fn run_experiment(spec: ExperimentSpec) -> ExperimentResult {
 /// Runs one experiment with an explicit analyzer configuration (used by
 /// the classifier-tolerance ablation).
 pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> ExperimentResult {
-    let sink = Box::new(AnalyzerSink(Some(TraceAnalyzer::new(cfg))));
-    let (report, wakeups, busy, records, logging_overhead) = match spec.os {
+    let analyzer: Box<dyn TraceSink> = Box::new(AnalyzerSink(Some(TraceAnalyzer::new(cfg))));
+    // The fault adaptor is installed only when a trace-plane fault is
+    // active, so a clean spec's sink chain is structurally identical to
+    // the pre-fault-plane one.
+    let trace_faulted = !spec.faults.drops.is_none() || !spec.faults.clock.is_none();
+    let sink: Box<dyn TraceSink> = if trace_faulted {
+        Box::new(FaultSink::new(
+            analyzer,
+            spec.faults.drops,
+            spec.faults.clock,
+            spec.faults.seed,
+        ))
+    } else {
+        analyzer
+    };
+    let net = spec.faults.net;
+    let (mut report, wakeups, busy, records, logging_overhead, dropped) = match spec.os {
         Os::Linux => {
-            let mut kernel = workloads::run_linux(spec.workload, spec.seed, spec.duration, sink);
+            let mut kernel =
+                workloads::run_linux_faulted(spec.workload, spec.seed, spec.duration, sink, net);
             let wakeups = kernel.cpu().wakeups();
             let busy = kernel.cpu().busy_time();
             let records = kernel.log().records_logged();
             let overhead = kernel.log().modeled_overhead();
-            let analyzer = take_analyzer(kernel.log_mut().sink_mut());
+            let (analyzer, dropped) = recover_analyzer(kernel.log_mut().sink_mut());
             let report = analyzer.finish(kernel.log().strings());
-            (report, wakeups, busy, records, overhead)
+            (report, wakeups, busy, records, overhead, dropped)
         }
         Os::Vista => {
-            let mut kernel = workloads::run_vista(spec.workload, spec.seed, spec.duration, sink);
+            let mut kernel =
+                workloads::run_vista_faulted(spec.workload, spec.seed, spec.duration, sink, net);
             let wakeups = kernel.cpu().wakeups();
             let busy = kernel.cpu().busy_time();
             let records = kernel.log().records_logged();
             let overhead = kernel.log().modeled_overhead();
-            let analyzer = take_analyzer(kernel.log_mut().sink_mut());
+            let (analyzer, dropped) = recover_analyzer(kernel.log_mut().sink_mut());
             let report = analyzer.finish(kernel.log().strings());
-            (report, wakeups, busy, records, overhead)
+            (report, wakeups, busy, records, overhead, dropped)
         }
     };
+    report.summary.dropped_records = dropped;
     ExperimentResult {
         spec,
         report,
@@ -145,6 +187,19 @@ pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> Experim
         records,
         logging_overhead,
     }
+}
+
+/// Recovers the analyzer (and any fault adaptor's drop count) from the
+/// kernel's sink.
+fn recover_analyzer(sink: &mut dyn TraceSink) -> (TraceAnalyzer, u64) {
+    if let Some(fault) = sink
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<FaultSink>())
+    {
+        let dropped = fault.dropped();
+        return (take_analyzer(fault.inner_mut()), dropped);
+    }
+    (take_analyzer(sink), 0)
 }
 
 /// Recovers the analyzer from the kernel's sink.
@@ -168,12 +223,7 @@ pub fn run_experiments(specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
 pub fn table_specs(os: Os, duration: SimDuration, seed: u64) -> Vec<ExperimentSpec> {
     Workload::TABLE_WORKLOADS
         .iter()
-        .map(|&workload| ExperimentSpec {
-            os,
-            workload,
-            duration,
-            seed,
-        })
+        .map(|&workload| ExperimentSpec::new(os, workload, duration, seed))
         .collect()
 }
 

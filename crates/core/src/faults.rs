@@ -1,0 +1,220 @@
+//! The experiment-level fault plane.
+//!
+//! [`FaultSpec`] composes the three per-layer fault models — trace-ring
+//! record drops ([`trace::DropFault`]), mid-run network degradation
+//! ([`netsim::NetFault`]) and virtual-clock perturbation
+//! ([`simtime::ClockFault`]) — plus a dedicated fault seed, into one
+//! `Copy + Eq + Hash` value that lives *inside* [`crate::ExperimentSpec`].
+//! Because the fault configuration is part of the cache key, faulted and
+//! clean runs of the same workload coexist in the memo table without ever
+//! aliasing, and `FaultSpec::none()` specs key exactly like the
+//! pre-fault-plane specs did (same spec equality, same run).
+
+use netsim::NetFault;
+use simtime::ClockFault;
+use trace::DropFault;
+
+/// The complete fault configuration of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Trace-ring record drops (overflow-burst semantics).
+    pub drops: DropFault,
+    /// Mid-run network degradation episode.
+    pub net: NetFault,
+    /// Virtual-clock perturbation of observed timestamps.
+    pub clock: ClockFault,
+    /// Seed of the fault plane's own RNG stream — independent of the
+    /// workload seed so enabling a fault never perturbs workload draws.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// The disabled fault plane: all layers pass through untouched.
+    pub const fn none() -> Self {
+        FaultSpec {
+            drops: DropFault::none(),
+            net: NetFault::none(),
+            clock: ClockFault::none(),
+            seed: 0,
+        }
+    }
+
+    /// True when every layer's fault is disabled.
+    ///
+    /// The seed is deliberately ignored: a fault plane that injects
+    /// nothing behaves identically regardless of its seed.
+    pub fn is_none(&self) -> bool {
+        self.drops.is_none() && self.net.is_none() && self.clock.is_none()
+    }
+
+    /// Preset: 1 % trace-record drops in overflow bursts.
+    pub const fn ring_drops() -> Self {
+        FaultSpec {
+            drops: DropFault::one_percent(),
+            net: NetFault::none(),
+            clock: ClockFault::none(),
+            seed: 0,
+        }
+    }
+
+    /// Preset: a mid-run network loss/latency burst.
+    pub const fn net_burst() -> Self {
+        FaultSpec {
+            drops: DropFault::none(),
+            net: NetFault::burst(),
+            clock: ClockFault::none(),
+            seed: 0,
+        }
+    }
+
+    /// Preset: tick jitter plus coarse clock quantisation.
+    pub const fn clock_jitter() -> Self {
+        FaultSpec {
+            drops: DropFault::none(),
+            net: NetFault::none(),
+            clock: ClockFault::jittery(),
+            seed: 0,
+        }
+    }
+
+    /// Replaces the fault seed.
+    pub const fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Parses a `--faults` argument: comma-separated modes with optional
+    /// parameters.
+    ///
+    /// Grammar: `drops[=PERMILLE]` | `net-burst` | `clock-jitter` | `all`
+    /// | `seed=N`, joined by commas. Examples: `drops`, `drops=25,seed=3`,
+    /// `net-burst,clock-jitter`, `all`.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::none();
+        for token in s.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = match token.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (token, None),
+            };
+            match (key, value) {
+                ("drops", None) => spec.drops = DropFault::one_percent(),
+                ("drops", Some(v)) => {
+                    let permille: u16 = v
+                        .parse()
+                        .map_err(|_| format!("bad drops permille: {v:?}"))?;
+                    if permille >= 1000 {
+                        return Err(format!("drops permille {permille} must be < 1000"));
+                    }
+                    spec.drops = DropFault {
+                        permille,
+                        burst_len: DropFault::one_percent().burst_len,
+                    };
+                }
+                ("net-burst", None) => spec.net = NetFault::burst(),
+                ("clock-jitter", None) => spec.clock = ClockFault::jittery(),
+                ("all", None) => {
+                    spec.drops = DropFault::one_percent();
+                    spec.net = NetFault::burst();
+                    spec.clock = ClockFault::jittery();
+                }
+                ("seed", Some(v)) => {
+                    spec.seed = v.parse().map_err(|_| format!("bad fault seed: {v:?}"))?;
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown fault token {token:?} \
+                         (expected drops[=PERMILLE], net-burst, clock-jitter, all, seed=N)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// A short stable label for file names and table headers, e.g.
+    /// `drops10+net-burst` or `clean`.
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            return "clean".to_owned();
+        }
+        let mut parts = Vec::new();
+        if !self.drops.is_none() {
+            parts.push(format!("drops{}", self.drops.permille));
+        }
+        if !self.net.is_none() {
+            parts.push("net-burst".to_owned());
+        }
+        if !self.clock.is_none() {
+            parts.push("clock-jitter".to_owned());
+        }
+        parts.join("+")
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultSpec::none().is_none());
+        assert!(!FaultSpec::ring_drops().is_none());
+        assert!(!FaultSpec::net_burst().is_none());
+        assert!(!FaultSpec::clock_jitter().is_none());
+    }
+
+    #[test]
+    fn parse_matches_presets() {
+        assert_eq!(FaultSpec::parse("drops").unwrap(), FaultSpec::ring_drops());
+        assert_eq!(
+            FaultSpec::parse("net-burst").unwrap(),
+            FaultSpec::net_burst()
+        );
+        assert_eq!(
+            FaultSpec::parse("clock-jitter").unwrap(),
+            FaultSpec::clock_jitter()
+        );
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::none());
+    }
+
+    #[test]
+    fn parse_composes_and_seeds() {
+        let spec = FaultSpec::parse("drops=25, net-burst, seed=9").unwrap();
+        assert_eq!(spec.drops.permille, 25);
+        assert!(!spec.net.is_none());
+        assert!(spec.clock.is_none());
+        assert_eq!(spec.seed, 9);
+
+        let all = FaultSpec::parse("all,seed=2").unwrap();
+        assert!(!all.drops.is_none() && !all.net.is_none() && !all.clock.is_none());
+        assert_eq!(all.seed, 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultSpec::parse("chaos").is_err());
+        assert!(FaultSpec::parse("drops=abc").is_err());
+        assert!(FaultSpec::parse("drops=1000").is_err());
+        assert!(FaultSpec::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultSpec::none().label(), "clean");
+        assert_eq!(FaultSpec::ring_drops().label(), "drops10");
+        assert_eq!(
+            FaultSpec::parse("all").unwrap().label(),
+            "drops10+net-burst+clock-jitter"
+        );
+    }
+}

@@ -248,13 +248,26 @@ pub fn table3(results: &[ExperimentResult]) -> Artifact {
 pub fn paper_specs(duration: simtime::SimDuration, seed: u64) -> Vec<ExperimentSpec> {
     let mut specs = table_specs(Os::Linux, duration, seed);
     specs.extend(table_specs(Os::Vista, duration, seed));
-    specs.push(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Outlook,
-        duration: crate::FIG1_DURATION,
+    specs.push(ExperimentSpec::new(
+        Os::Vista,
+        Workload::Outlook,
+        crate::FIG1_DURATION,
         seed,
-    });
+    ));
     specs
+}
+
+/// [`paper_specs`] with a fault plane attached to every experiment
+/// (the `repro_all --faults` path).
+pub fn paper_specs_faulted(
+    duration: simtime::SimDuration,
+    seed: u64,
+    faults: crate::FaultSpec,
+) -> Vec<ExperimentSpec> {
+    paper_specs(duration, seed)
+        .into_iter()
+        .map(|s| s.with_faults(faults))
+        .collect()
 }
 
 /// Assembles the paper's artifacts from results laid out as
@@ -301,5 +314,17 @@ pub fn reproduce_all(duration: simtime::SimDuration, seed: u64) -> Vec<Artifact>
 /// reference path the determinism harness compares against.
 pub fn reproduce_all_serial(duration: simtime::SimDuration, seed: u64) -> Vec<Artifact> {
     let results = crate::experiment::run_experiments(&paper_specs(duration, seed));
+    assemble(&results)
+}
+
+/// [`reproduce_all`] under fault injection: every experiment carries
+/// `faults`, and the summary tables gain drop/degradation accounting
+/// rows. With `FaultSpec::none()` this is exactly [`reproduce_all`].
+pub fn reproduce_all_faulted(
+    duration: simtime::SimDuration,
+    seed: u64,
+    faults: crate::FaultSpec,
+) -> Vec<Artifact> {
+    let results = crate::cache::global().run_all(&paper_specs_faulted(duration, seed, faults));
     assemble(&results)
 }

@@ -12,17 +12,24 @@
 //! use simtime::SimDuration;
 //! use workloads::Workload;
 //!
-//! let result = run_experiment(ExperimentSpec {
-//!     os: Os::Linux,
-//!     workload: Workload::Idle,
-//!     duration: SimDuration::from_secs(30),
-//!     seed: 7,
-//! });
+//! let result = run_experiment(ExperimentSpec::new(
+//!     Os::Linux,
+//!     Workload::Idle,
+//!     SimDuration::from_secs(30),
+//!     7,
+//! ));
 //! assert!(result.report.summary.accesses > 0);
 //! ```
+//!
+//! Every experiment can additionally carry a [`FaultSpec`] — deterministic
+//! trace-record drops, a mid-run network degradation burst, and/or clock
+//! perturbation — via [`ExperimentSpec::with_faults`]; the fault
+//! configuration is part of the cache key, and a disabled fault plane is
+//! bit-identical to the clean path.
 
 pub mod cache;
 pub mod experiment;
+pub mod faults;
 pub mod figures;
 pub mod parallel;
 pub mod render;
@@ -30,6 +37,7 @@ pub mod render;
 pub use analysis::Report;
 pub use cache::ExperimentCache;
 pub use experiment::{run_experiment, run_experiments, ExperimentResult, ExperimentSpec, Os};
+pub use faults::FaultSpec;
 pub use parallel::{run_experiments_parallel, run_experiments_parallel_with, run_trials};
 pub use workloads::Workload;
 

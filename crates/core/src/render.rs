@@ -58,7 +58,7 @@ pub fn summary_table(results: &[ExperimentResult]) -> String {
         row.extend(results.iter().map(|r| f(r).to_string()));
         row
     };
-    let rows = vec![
+    let mut rows = vec![
         metric("Timers", &|r| r.report.summary.timers),
         metric("Concurrency", &|r| r.report.summary.concurrency),
         metric("Accesses", &|r| r.report.summary.accesses),
@@ -68,6 +68,15 @@ pub fn summary_table(results: &[ExperimentResult]) -> String {
         metric("Expired", &|r| r.report.summary.expired),
         metric("Canceled", &|r| r.report.summary.canceled),
     ];
+    // Degradation accounting appears only when a fault plane was active,
+    // keyed off the *spec* (not the counters) so clean runs stay
+    // byte-identical to the pre-fault-plane artifacts.
+    if results.iter().any(|r| !r.spec.faults.is_none()) {
+        rows.push(metric("Dropped records", &|r| {
+            r.report.summary.dropped_records
+        }));
+        rows.push(metric("Orphan ends", &|r| r.report.summary.orphan_ends));
+    }
     table(&headers, &rows)
 }
 

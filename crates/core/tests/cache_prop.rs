@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 use simtime::SimDuration;
-use timerstudy::{ExperimentSpec, Os, Workload};
+use timerstudy::{ExperimentSpec, FaultSpec, Os, Workload};
 use workloads::trial_seed;
 
 fn os_strategy() -> BoxedStrategy<Os> {
@@ -30,11 +30,46 @@ fn spec_strategy() -> BoxedStrategy<ExperimentSpec> {
         1u64..10_000,
         any::<u64>(),
     )
-        .prop_map(|(os, workload, secs, seed)| ExperimentSpec {
-            os,
-            workload,
-            duration: SimDuration::from_secs(secs),
-            seed,
+        .prop_map(|(os, workload, secs, seed)| {
+            ExperimentSpec::new(os, workload, SimDuration::from_secs(secs), seed)
+        })
+        .boxed()
+}
+
+fn fault_strategy() -> BoxedStrategy<FaultSpec> {
+    (
+        0u16..1000,
+        1u16..16,
+        (
+            0u64..100,
+            0u64..100,
+            0u16..1000,
+            1000u32..8000,
+            1000u32..8000,
+        ),
+        (0u64..5_000_000, 0u64..5_000_000),
+        any::<u64>(),
+    )
+        .prop_map(|(permille, burst_len, net, clock, seed)| {
+            let (start, dur, loss, rtt, jit) = net;
+            let (jitter, quantum) = clock;
+            let mut f = FaultSpec::none().with_seed(seed);
+            f.drops = trace::DropFault {
+                permille,
+                burst_len,
+            };
+            f.net = netsim::NetFault {
+                start: SimDuration::from_secs(start),
+                duration: SimDuration::from_secs(dur),
+                extra_loss_permille: loss,
+                rtt_factor_permille: rtt,
+                jitter_factor_permille: jit,
+            };
+            f.clock = simtime::ClockFault {
+                jitter: SimDuration::from_nanos(jitter),
+                quantum: SimDuration::from_nanos(quantum),
+            };
+            f
         })
         .boxed()
 }
@@ -120,12 +155,49 @@ proptest! {
             ..spec
         };
         let other_seed = ExperimentSpec { seed: spec.seed ^ 1, ..spec };
+        let other_faults = spec.with_faults(FaultSpec::ring_drops());
         let mut map: HashMap<ExperimentSpec, &str> = HashMap::new();
         map.insert(spec, "base");
         map.insert(other_os, "os");
         map.insert(other_duration, "duration");
         map.insert(other_seed, "seed");
-        prop_assert_eq!(map.len(), 4);
+        map.insert(other_faults, "faults");
+        prop_assert_eq!(map.len(), 5);
         prop_assert_eq!(map.get(&spec).copied(), Some("base"));
+    }
+
+    /// Specs that differ only in their fault plane key distinct cache
+    /// entries: a faulted run can never be served a clean run's report.
+    #[test]
+    fn distinct_fault_specs_never_collide(
+        spec in spec_strategy(),
+        a in fault_strategy(),
+        b in fault_strategy(),
+    ) {
+        // (The vendored proptest has no prop_assume; identical draws are
+        // simply vacuous cases.)
+        if a == b {
+            return Ok(());
+        }
+        let mut map: HashMap<ExperimentSpec, &str> = HashMap::new();
+        map.insert(spec.with_faults(a), "a");
+        map.insert(spec.with_faults(b), "b");
+        prop_assert_eq!(map.len(), 2);
+        prop_assert_eq!(map.get(&spec.with_faults(a)).copied(), Some("a"));
+        prop_assert_eq!(map.get(&spec.with_faults(b)).copied(), Some("b"));
+    }
+
+    /// A spec with an explicit `FaultSpec::none()` is the *same* cache key
+    /// as the plain spec: enabling the fault plane with everything off
+    /// cannot fork the cache.
+    #[test]
+    fn none_faults_key_equals_plain_spec(spec in spec_strategy()) {
+        let explicit = spec.with_faults(FaultSpec::none());
+        prop_assert_eq!(explicit, spec);
+        let mut map: HashMap<ExperimentSpec, &str> = HashMap::new();
+        map.insert(spec, "plain");
+        map.insert(explicit, "explicit");
+        prop_assert_eq!(map.len(), 1);
+        prop_assert_eq!(map.get(&spec).copied(), Some("explicit"));
     }
 }

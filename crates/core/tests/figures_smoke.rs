@@ -10,12 +10,12 @@ fn all_artifacts_render() {
     let duration = SimDuration::from_secs(45);
     let linux = run_table_workloads(Os::Linux, duration, 5);
     let vista = run_table_workloads(Os::Vista, duration, 5);
-    let outlook = run_experiment(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Outlook,
+    let outlook = run_experiment(ExperimentSpec::new(
+        Os::Vista,
+        Workload::Outlook,
         duration,
-        seed: 5,
-    });
+        5,
+    ));
 
     let artifacts = vec![
         figures::fig01(&outlook),

@@ -1,0 +1,124 @@
+//! Mid-run network degradation episodes.
+//!
+//! The paper's network-driven timers (TCP retransmit backoff, the §5
+//! adaptive estimators) only show their worth when conditions *change*
+//! mid-run. [`NetFault`] describes one degradation episode — a window of
+//! virtual time during which a [`Link`](crate::Link) suffers extra loss
+//! and inflated latency/jitter — using only integer fields so the episode
+//! can live inside an experiment cache key.
+
+use simtime::{SimDuration, SimInstant};
+
+/// One deterministic degradation episode on a link.
+///
+/// Scale factors are expressed in permille (1000 = ×1.0) so the type stays
+/// `Copy + Eq + Hash`. Outside the `[start, start + duration)` window the
+/// link behaves exactly as configured, drawing the same random sequence as
+/// an unfaulted link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetFault {
+    /// Episode start, as an offset from simulated boot.
+    pub start: SimDuration,
+    /// Episode length; zero means the fault is disabled.
+    pub duration: SimDuration,
+    /// Additional loss probability in permille, added to the link's own.
+    pub extra_loss_permille: u16,
+    /// RTT scale factor in permille (1000 = unchanged).
+    pub rtt_factor_permille: u32,
+    /// RTT-jitter scale factor in permille (1000 = unchanged).
+    pub jitter_factor_permille: u32,
+}
+
+impl NetFault {
+    /// The disabled episode: zero-length window, identity factors.
+    pub const fn none() -> Self {
+        NetFault {
+            start: SimDuration::ZERO,
+            duration: SimDuration::ZERO,
+            extra_loss_permille: 0,
+            rtt_factor_permille: 1000,
+            jitter_factor_permille: 1000,
+        }
+    }
+
+    /// True when this episode never activates.
+    pub fn is_none(&self) -> bool {
+        self.duration.is_zero()
+    }
+
+    /// The default injection preset: starting 5 s into the run, a 10 s
+    /// burst of 10 % extra loss with RTT and jitter inflated ×4 — the
+    /// congestion-collapse shape the §5 estimators are built for, sized to
+    /// land inside even the 20 s CI runs.
+    pub const fn burst() -> Self {
+        NetFault {
+            start: SimDuration::from_secs(5),
+            duration: SimDuration::from_secs(10),
+            extra_loss_permille: 100,
+            rtt_factor_permille: 4000,
+            jitter_factor_permille: 4000,
+        }
+    }
+
+    /// True while `now` is inside the degradation window.
+    pub fn active_at(&self, now: SimInstant) -> bool {
+        if self.is_none() {
+            return false;
+        }
+        let since_boot = now.duration_since(SimInstant::BOOT);
+        since_boot >= self.start && since_boot < self.start.saturating_add(self.duration)
+    }
+
+    /// The extra loss probability this episode adds, as a float.
+    pub fn extra_loss(&self) -> f64 {
+        f64::from(self.extra_loss_permille) / 1000.0
+    }
+
+    /// The RTT scale factor as a float.
+    pub fn rtt_factor(&self) -> f64 {
+        f64::from(self.rtt_factor_permille) / 1000.0
+    }
+
+    /// The jitter scale factor as a float.
+    pub fn jitter_factor(&self) -> f64 {
+        f64::from(self.jitter_factor_permille) / 1000.0
+    }
+}
+
+impl Default for NetFault {
+    fn default() -> Self {
+        NetFault::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_never_active() {
+        let f = NetFault::none();
+        assert!(f.is_none());
+        for s in [0u64, 1, 100, 10_000] {
+            assert!(!f.active_at(SimInstant::from_nanos(s * 1_000_000_000)));
+        }
+    }
+
+    #[test]
+    fn burst_window_is_half_open() {
+        let f = NetFault::burst();
+        let at = |secs: f64| SimInstant::from_nanos((secs * 1e9) as u64);
+        assert!(!f.active_at(at(4.999)));
+        assert!(f.active_at(at(5.0)));
+        assert!(f.active_at(at(14.999)));
+        assert!(!f.active_at(at(15.0)));
+    }
+
+    #[test]
+    fn factors_convert_from_permille() {
+        let f = NetFault::burst();
+        assert!((f.extra_loss() - 0.1).abs() < 1e-12);
+        assert!((f.rtt_factor() - 4.0).abs() < 1e-12);
+        assert!((f.jitter_factor() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Deterministic virtual-clock perturbation.
+//!
+//! The paper's methodology assumes the tracing clock is exact; real
+//! deployments see tick jitter and coarse clock sources ("Time Attacks
+//! using Kernel Vulnerabilities" treats clock perturbation as a
+//! first-class failure mode). [`ClockFault`] models the two perturbations
+//! a trace consumer actually observes — per-record timestamp jitter and
+//! coarse quantisation — as a pure, seedable function so faulted runs
+//! stay exactly reproducible.
+
+use crate::instant::{SimDuration, SimInstant};
+use crate::rng::SimRng;
+
+/// A deterministic perturbation of observed timestamps.
+///
+/// All fields are plain durations so the fault can sit inside an
+/// experiment cache key (`Copy + Eq + Hash`). [`ClockFault::none`] is the
+/// identity: it draws no randomness and returns timestamps untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockFault {
+    /// Symmetric jitter amplitude: each timestamp shifts by a uniform
+    /// offset in `[-jitter, +jitter]` (clamped at boot).
+    pub jitter: SimDuration,
+    /// Coarse quantisation: timestamps are floored to a multiple of this
+    /// quantum (zero disables quantisation).
+    pub quantum: SimDuration,
+}
+
+impl ClockFault {
+    /// The identity fault: no jitter, no quantisation.
+    pub const fn none() -> Self {
+        ClockFault {
+            jitter: SimDuration::ZERO,
+            quantum: SimDuration::ZERO,
+        }
+    }
+
+    /// True when this fault perturbs nothing.
+    pub fn is_none(&self) -> bool {
+        self.jitter.is_zero() && self.quantum.is_zero()
+    }
+
+    /// The default injection preset: ±250 µs of tick jitter over a 100 µs
+    /// quantum — enough to reorder tightly spaced records and to collapse
+    /// sub-quantum gaps, without moving any timer by a humanly visible
+    /// amount.
+    pub const fn jittery() -> Self {
+        ClockFault {
+            jitter: SimDuration::from_micros(250),
+            quantum: SimDuration::from_micros(100),
+        }
+    }
+
+    /// Perturbs one observed timestamp.
+    ///
+    /// Jitter draws exactly one random offset when enabled (and none when
+    /// disabled), so the perturbation is a pure function of the fault,
+    /// the RNG state and the input. The result saturates at boot.
+    pub fn perturb(&self, ts: SimInstant, rng: &mut SimRng) -> SimInstant {
+        let mut ns = ts.as_nanos();
+        if !self.jitter.is_zero() {
+            let span = self.jitter.as_nanos();
+            let offset = rng.range_u64(0, 2 * span + 1);
+            ns = (ns + offset).saturating_sub(span);
+        }
+        if !self.quantum.is_zero() {
+            let q = self.quantum.as_nanos();
+            ns -= ns % q;
+        }
+        SimInstant::from_nanos(ns)
+    }
+}
+
+impl Default for ClockFault {
+    fn default() -> Self {
+        ClockFault::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity_and_draws_nothing() {
+        let fault = ClockFault::none();
+        let mut rng = SimRng::new(1);
+        let mut witness = SimRng::new(1);
+        let ts = SimInstant::from_nanos(123_456_789);
+        assert_eq!(fault.perturb(ts, &mut rng), ts);
+        // No randomness was consumed.
+        assert_eq!(rng.next_u64(), witness.next_u64());
+    }
+
+    #[test]
+    fn jitter_stays_within_amplitude() {
+        let fault = ClockFault {
+            jitter: SimDuration::from_micros(50),
+            quantum: SimDuration::ZERO,
+        };
+        let mut rng = SimRng::new(7);
+        let ts = SimInstant::from_nanos(1_000_000);
+        for _ in 0..10_000 {
+            let p = fault.perturb(ts, &mut rng).as_nanos();
+            assert!((1_000_000 - 50_000..=1_000_000 + 50_000).contains(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn jitter_saturates_at_boot() {
+        let fault = ClockFault {
+            jitter: SimDuration::from_secs(1),
+            quantum: SimDuration::ZERO,
+        };
+        let mut rng = SimRng::new(3);
+        for _ in 0..1_000 {
+            // A timestamp near boot can never be pushed before boot.
+            let p = fault.perturb(SimInstant::from_nanos(10), &mut rng);
+            assert!(p.as_nanos() <= 1_000_000_000 + 10);
+        }
+    }
+
+    #[test]
+    fn quantisation_floors_to_quantum() {
+        let fault = ClockFault {
+            jitter: SimDuration::ZERO,
+            quantum: SimDuration::from_micros(100),
+        };
+        let mut rng = SimRng::new(5);
+        let p = fault.perturb(SimInstant::from_nanos(123_456_789), &mut rng);
+        assert_eq!(p.as_nanos(), 123_400_000);
+        assert_eq!(p.as_nanos() % 100_000, 0);
+    }
+
+    #[test]
+    fn same_seed_same_perturbation() {
+        let fault = ClockFault::jittery();
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for i in 0..1_000u64 {
+            let ts = SimInstant::from_nanos(i * 977);
+            assert_eq!(fault.perturb(ts, &mut a), fault.perturb(ts, &mut b));
+        }
+    }
+}

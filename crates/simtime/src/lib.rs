@@ -14,14 +14,18 @@
 //!   forkable substreams, so adding a new random draw in one subsystem does
 //!   not perturb every other subsystem,
 //! * [`dist`] — the latency/interarrival distributions used by the workload
-//!   and network models.
+//!   and network models,
+//! * [`faults`] — deterministic clock perturbation (tick jitter, coarse
+//!   quantisation) for fault-injection experiments.
 
 pub mod dist;
+pub mod faults;
 pub mod instant;
 pub mod jiffies;
 pub mod rng;
 
 pub use dist::{Empirical, Exp, LogNormal, Normal, Pareto, Sample};
+pub use faults::ClockFault;
 pub use instant::{SimDuration, SimInstant};
 pub use jiffies::{Hz, Jiffies, JiffyClock, LINUX_HZ, VISTA_TICK};
 pub use rng::SimRng;

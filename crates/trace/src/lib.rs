@@ -26,9 +26,13 @@
 //! * [`reader`] — decodes a ring back into events.
 //! * [`text`] — the offline binary→text converter of §3.2 (and its
 //!   parser), for external tooling.
+//! * [`faults`] — deterministic trace-plane fault injection: seeded
+//!   record drops with overflow-burst semantics plus clock perturbation,
+//!   wrapped around any sink with exact loss accounting.
 
 pub mod codec;
 pub mod event;
+pub mod faults;
 pub mod logger;
 pub mod percpu;
 pub mod reader;
@@ -37,6 +41,7 @@ pub mod strings;
 pub mod text;
 
 pub use event::{Event, EventFlags, EventKind, OriginId, Pid, Space, Tid, TimerAddr};
+pub use faults::{DropFault, FaultSink};
 pub use logger::{CollectSink, CountSink, EventCounts, NullSink, RingSink, TraceLog, TraceSink};
 pub use percpu::PerCpuRings;
 pub use reader::RingReader;

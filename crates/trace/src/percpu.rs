@@ -70,23 +70,34 @@ impl PerCpuRings {
         self.cpus.iter().map(|c| c.lock().dropped()).sum()
     }
 
+    /// Mutable access to one CPU's ring, e.g. for corruption injection in
+    /// robustness tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn with_ring_mut<R>(&self, cpu: usize, f: impl FnOnce(&mut RingBuffer) -> R) -> R {
+        f(&mut self.cpus[cpu].lock())
+    }
+
     /// Decodes and merges all per-CPU streams into one timestamp-ordered
     /// event list (stable across CPUs at equal timestamps: lower CPU
     /// index first, preserving each CPU's internal order).
+    ///
+    /// A ring ending in a partial record — a torn write observed by the
+    /// consumer — fails with [`DecodeError::Truncated`] instead of being
+    /// silently treated as complete.
     pub fn merged(&self) -> Result<Vec<Event>, DecodeError> {
-        // Take a consistent snapshot of each ring.
-        let rings: Vec<RingBuffer> = self
-            .cpus
-            .iter()
-            .map(|c| {
-                let guard = c.lock();
-                let mut copy = RingBuffer::new(guard.capacity_bytes());
-                for i in 0..guard.record_count() {
-                    copy.push_record(guard.record(i).expect("index in range"));
-                }
-                copy
-            })
-            .collect();
+        // Take a consistent snapshot of each ring. Cloning keeps any
+        // partial trailing bytes so damage stays detectable.
+        let rings: Vec<RingBuffer> = self.cpus.iter().map(|c| c.lock().clone()).collect();
+        for ring in &rings {
+            if ring.has_partial_tail() {
+                return Err(DecodeError::Truncated {
+                    available: ring.partial_tail_bytes(),
+                });
+            }
+        }
         let mut streams: Vec<std::iter::Peekable<RingReader<'_>>> = rings
             .iter()
             .map(|r| RingReader::new(r).peekable())
@@ -160,6 +171,31 @@ mod tests {
         assert!(rings.log_on(1, &ev(3, 3))); // CPU 1 unaffected.
         assert_eq!(rings.dropped(), 1);
         assert_eq!(rings.record_count(), 2);
+    }
+
+    #[test]
+    fn merged_reports_torn_tail_as_truncated() {
+        let rings = PerCpuRings::new(2, 1 << 14);
+        rings.log_on(0, &ev(10, 1));
+        rings.log_on(1, &ev(20, 2));
+        // Tear CPU 1's last record mid-write.
+        rings.with_ring_mut(1, |r| r.truncate_bytes(codec::RECORD_SIZE / 3));
+        assert_eq!(
+            rings.merged(),
+            Err(DecodeError::Truncated {
+                available: codec::RECORD_SIZE / 3
+            })
+        );
+    }
+
+    #[test]
+    fn merged_reports_scribbled_kind_as_bad_kind() {
+        let rings = PerCpuRings::new(2, 1 << 14);
+        rings.log_on(0, &ev(10, 1));
+        rings.log_on(1, &ev(20, 2));
+        // The kind byte sits after the 8-byte timestamp.
+        rings.with_ring_mut(0, |r| r.overwrite(8, &[0xEE]));
+        assert_eq!(rings.merged(), Err(DecodeError::BadKind(0xEE)));
     }
 
     #[test]

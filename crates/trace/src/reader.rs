@@ -50,8 +50,18 @@ impl Iterator for RingReader<'_> {
 impl ExactSizeIterator for RingReader<'_> {}
 
 /// Decodes an entire ring into a vector, failing on the first bad record.
+///
+/// A partial trailing record (a torn or mid-write snapshot) is reported as
+/// [`DecodeError::Truncated`] rather than silently ignored, so a consumer
+/// can never mistake a damaged ring for a complete trace.
 pub fn decode_all(ring: &RingBuffer) -> Result<Vec<Event>, DecodeError> {
-    RingReader::new(ring).collect()
+    let events = RingReader::new(ring).collect::<Result<Vec<_>, _>>()?;
+    if ring.has_partial_tail() {
+        return Err(DecodeError::Truncated {
+            available: ring.partial_tail_bytes(),
+        });
+    }
+    Ok(events)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 use crate::codec::RECORD_SIZE;
 
 /// A bounded append-only record buffer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RingBuffer {
     data: Vec<u8>,
     capacity: usize,
@@ -94,6 +94,40 @@ impl RingBuffer {
         let end = start + RECORD_SIZE;
         self.data.get(start..end)
     }
+
+    /// `true` when the buffer ends in a partial record (a crashed or
+    /// torn writer left fewer than [`RECORD_SIZE`] trailing bytes).
+    pub fn has_partial_tail(&self) -> bool {
+        !self.data.len().is_multiple_of(RECORD_SIZE)
+    }
+
+    /// Bytes in the partial trailing record (zero when whole).
+    pub fn partial_tail_bytes(&self) -> usize {
+        self.data.len() % RECORD_SIZE
+    }
+
+    /// Corruption injection: overwrites stored bytes starting at `offset`.
+    ///
+    /// Models a torn write or a buggy consumer scribbling on the mapped
+    /// buffer; readers must detect the damage, not trust it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + bytes.len()` exceeds the stored length.
+    pub fn overwrite(&mut self, offset: usize, bytes: &[u8]) {
+        let end = offset + bytes.len();
+        assert!(end <= self.data.len(), "overwrite past stored data");
+        self.data[offset..end].copy_from_slice(bytes);
+    }
+
+    /// Corruption injection: truncates the stored bytes to `len`,
+    /// possibly leaving a partial trailing record.
+    ///
+    /// Models a reader that snapshots the buffer mid-write (the relayfs
+    /// consumer can observe a torn final record).
+    pub fn truncate_bytes(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +170,32 @@ mod tests {
     #[should_panic(expected = "below one record")]
     fn too_small_panics() {
         RingBuffer::new(RECORD_SIZE - 1);
+    }
+
+    #[test]
+    fn clone_preserves_partial_tail() {
+        let mut ring = RingBuffer::new(RECORD_SIZE * 2);
+        ring.push_record(&[3u8; RECORD_SIZE]);
+        ring.truncate_bytes(RECORD_SIZE / 2);
+        assert!(ring.has_partial_tail());
+        let copy = ring.clone();
+        assert_eq!(copy.partial_tail_bytes(), RECORD_SIZE / 2);
+        assert_eq!(copy.bytes(), ring.bytes());
+    }
+
+    #[test]
+    fn overwrite_changes_stored_bytes() {
+        let mut ring = RingBuffer::new(RECORD_SIZE * 2);
+        ring.push_record(&[0u8; RECORD_SIZE]);
+        ring.overwrite(8, &[0xFF]);
+        assert_eq!(ring.record(0).unwrap()[8], 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "overwrite past stored data")]
+    fn overwrite_past_end_panics() {
+        let mut ring = RingBuffer::new(RECORD_SIZE * 2);
+        ring.push_record(&[0u8; RECORD_SIZE]);
+        ring.overwrite(RECORD_SIZE, &[1]);
     }
 }

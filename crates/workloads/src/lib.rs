@@ -27,6 +27,7 @@ pub mod vista;
 
 pub use driver::{trial_seed, LinuxDriver, LinuxWorld, VistaDriver, VistaWorld};
 
+use netsim::NetFault;
 use simtime::SimDuration;
 use trace::TraceSink;
 
@@ -73,11 +74,24 @@ pub fn run_linux(
     duration: SimDuration,
     sink: Box<dyn TraceSink>,
 ) -> linuxsim::LinuxKernel {
+    run_linux_faulted(workload, seed, duration, sink, NetFault::none())
+}
+
+/// [`run_linux`] with a network degradation episode on the workload's
+/// network path. Workloads without network traffic (idle, and the Linux
+/// Outlook stand-in) ignore `net`.
+pub fn run_linux_faulted(
+    workload: Workload,
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+) -> linuxsim::LinuxKernel {
     match workload {
         Workload::Idle => linux::idle::run(seed, duration, sink),
-        Workload::Firefox => linux::firefox::run(seed, duration, sink),
-        Workload::Skype => linux::skype::run(seed, duration, sink),
-        Workload::Webserver => linux::webserver::run(seed, duration, sink),
+        Workload::Firefox => linux::firefox::run(seed, duration, sink, net),
+        Workload::Skype => linux::skype::run(seed, duration, sink, net),
+        Workload::Webserver => linux::webserver::run(seed, duration, sink, net),
         Workload::Outlook => {
             // Figure 1 is a Vista-only measurement; on Linux it degrades
             // to the idle desktop.
@@ -93,11 +107,24 @@ pub fn run_vista(
     duration: SimDuration,
     sink: Box<dyn TraceSink>,
 ) -> vistasim::VistaKernel {
+    run_vista_faulted(workload, seed, duration, sink, NetFault::none())
+}
+
+/// [`run_vista`] with a network degradation episode on the workload's
+/// network path. Workloads without modelled network traffic (idle,
+/// Firefox, Outlook) ignore `net`.
+pub fn run_vista_faulted(
+    workload: Workload,
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+) -> vistasim::VistaKernel {
     match workload {
         Workload::Idle => vista::idle::run(seed, duration, sink),
         Workload::Firefox => vista::firefox::run(seed, duration, sink),
-        Workload::Skype => vista::skype::run(seed, duration, sink),
-        Workload::Webserver => vista::webserver::run(seed, duration, sink),
+        Workload::Skype => vista::skype::run(seed, duration, sink, net),
+        Workload::Webserver => vista::webserver::run(seed, duration, sink, net),
         Workload::Outlook => vista::outlook::run(seed, duration, sink),
     }
 }

@@ -8,6 +8,7 @@
 //! 30 minutes, 81 % of sets cancelled, cancellations spread evenly
 //! between 0 % and 100 % of the timeout (§4.2, §4.3, Figure 10).
 
+use netsim::{Link, NetFault};
 use simtime::{Empirical, Sample, SimDuration, SimRng};
 use trace::{Tid, TraceSink};
 
@@ -28,6 +29,8 @@ pub struct FirefoxWorld {
     poll_values: Empirical,
     /// Pending poll handles by thread.
     polls: Vec<Option<TimerHandle>>,
+    /// The WAN path page fetches ride (can carry a degradation episode).
+    link: Link,
 }
 
 impl HasLoopers for FirefoxWorld {
@@ -82,13 +85,13 @@ fn schedule_fetch(driver: &mut LinuxDriver<FirefoxWorld>) {
     let gap = SimDuration::from_secs(8 + driver.rng.range_u64(0, 8));
     driver.after(gap, |d| {
         let conn = d.kernel.tcp_open(false);
-        let link = netsim::Link::wan();
-        let rtt = link.sample_rtt(&mut d.rng);
+        let link = d.world.link.clone();
+        let rtt = link.sample_rtt_at(d.now(), &mut d.rng);
         d.after(rtt, move |d| {
             d.kernel.tcp_established(conn);
             d.kernel.tcp_transmit(conn);
-            let link = netsim::Link::wan();
-            let rtt2 = link.sample_rtt(&mut d.rng);
+            let link = d.world.link.clone();
+            let rtt2 = link.sample_rtt_at(d.now(), &mut d.rng);
             d.after(rtt2, move |d| {
                 d.kernel.tcp_ack_received(conn, Some(rtt2));
                 d.kernel.tcp_data_received(conn);
@@ -101,8 +104,14 @@ fn schedule_fetch(driver: &mut LinuxDriver<FirefoxWorld>) {
     });
 }
 
-/// Runs the Firefox workload.
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> LinuxKernel {
+/// Runs the Firefox workload; `net` attaches a degradation episode to the
+/// page-fetch WAN path ([`NetFault::none`] for the paper's conditions).
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
         ..LinuxConfig::default()
@@ -147,6 +156,7 @@ pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> LinuxK
         ],
         poll_values,
         polls: vec![None; POLL_THREADS as usize + 1],
+        link: Link::wan().with_fault(net),
     };
     let rng = SimRng::new(seed ^ 0xf1ef);
     let mut driver = LinuxDriver::new(kernel, rng, world);

@@ -6,6 +6,7 @@
 //! adaptive TCP socket timers that form "the large cluster of points
 //! below 1 second … characteristic of adaptive timers" (§4.3).
 
+use netsim::{Link, NetFault};
 use simtime::{Empirical, Sample, SimDuration, SimRng};
 use trace::TraceSink;
 
@@ -22,6 +23,8 @@ pub struct SkypeWorld {
     poll_values: Empirical,
     /// The call's control connection.
     conn: Option<ConnId>,
+    /// The Internet path of the call (can carry a degradation episode).
+    link: Link,
 }
 
 impl HasLoopers for SkypeWorld {
@@ -45,8 +48,8 @@ impl LinuxWorld for SkypeWorld {
             Notify::TcpRetransmit { conn } => {
                 // The retransmitted segment's ACK comes back a link RTT
                 // later (if not lost again).
-                let link = netsim::Link::internet_lossy();
-                if let Some(rtt) = link.send_segment(&mut driver.rng) {
+                let link = driver.world.link.clone();
+                if let Some(rtt) = link.send_segment_at(driver.now(), &mut driver.rng) {
                     driver.after(rtt, move |d| {
                         // Karn's rule: no sample for retransmits.
                         d.kernel.tcp_ack_received(conn, None);
@@ -71,8 +74,8 @@ fn audio_frame(driver: &mut LinuxDriver<SkypeWorld>) {
     if driver.rng.chance(0.12) {
         if let Some(conn) = driver.world.conn {
             driver.kernel.tcp_transmit(conn);
-            let link = netsim::Link::internet_lossy();
-            if let Some(rtt) = link.send_segment(&mut driver.rng) {
+            let link = driver.world.link.clone();
+            if let Some(rtt) = link.send_segment_at(driver.now(), &mut driver.rng) {
                 driver.after(rtt, move |d| {
                     d.kernel.tcp_ack_received(conn, Some(rtt));
                 });
@@ -114,8 +117,8 @@ fn schedule_inbound(driver: &mut LinuxDriver<SkypeWorld>) {
                 let reply_delay = SimDuration::from_millis(2 + d.rng.range_u64(0, 15));
                 d.after(reply_delay, move |d| {
                     d.kernel.tcp_transmit(conn);
-                    let link = netsim::Link::internet_lossy();
-                    if let Some(rtt) = link.send_segment(&mut d.rng) {
+                    let link = d.world.link.clone();
+                    if let Some(rtt) = link.send_segment_at(d.now(), &mut d.rng) {
                         d.after(rtt, move |d| {
                             d.kernel.tcp_ack_received(conn, Some(rtt));
                         });
@@ -127,8 +130,14 @@ fn schedule_inbound(driver: &mut LinuxDriver<SkypeWorld>) {
     });
 }
 
-/// Runs the Skype workload.
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> LinuxKernel {
+/// Runs the Skype workload; `net` attaches a degradation episode to the
+/// call's Internet path ([`NetFault::none`] for the paper's conditions).
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
         ..LinuxConfig::default()
@@ -168,14 +177,15 @@ pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> LinuxK
         ],
         poll_values,
         conn: None,
+        link: Link::internet_lossy().with_fault(net),
     };
     let rng = SimRng::new(seed ^ 0x5c1e);
     let mut driver = LinuxDriver::new(kernel, rng, world);
     // Establish the call's connection (with keepalive, like a long-lived
     // control channel — the 7200 s timer in Figure 3).
     let conn = driver.kernel.tcp_open(true);
-    let link = netsim::Link::internet_lossy();
-    let rtt = link.sample_rtt(&mut driver.rng);
+    let link = driver.world.link.clone();
+    let rtt = link.sample_rtt_at(driver.now(), &mut driver.rng);
     driver.after(rtt, move |d| {
         d.kernel.tcp_established(conn);
         d.world.conn = Some(conn);

@@ -9,6 +9,7 @@
 //! and 1 s event-loop timeout, and logging drives the journal's ~5 s
 //! mostly-cancelled commit timer (Figure 11's 80–100 % cluster).
 
+use netsim::NetFault;
 use simtime::{Exp, Sample, SimDuration, SimRng};
 use trace::{Pid, TraceSink};
 
@@ -49,7 +50,8 @@ impl LinuxWorld for WebWorld {
             Notify::TcpRetransmit { conn } => {
                 // Retransmitted segment: schedule its ACK (LAN is
                 // effectively lossless, so this is rare).
-                if let Some(rtt) = driver.world.link.send_segment(&mut driver.rng) {
+                let link = driver.world.link.clone();
+                if let Some(rtt) = link.send_segment_at(driver.now(), &mut driver.rng) {
                     driver.after(rtt, move |d| {
                         d.kernel.tcp_ack_received(conn, None);
                     });
@@ -112,7 +114,7 @@ fn request_arrives(driver: &mut LinuxDriver<WebWorld>, worker: Pid) {
             driver.kernel.sys_select_return(h);
         }
     }
-    let rtt = link.sample_rtt(&mut driver.rng);
+    let rtt = link.sample_rtt_at(driver.now(), &mut driver.rng);
     driver.after(rtt, move |d| {
         // Handshake done; the worker polls the connection with Apache's
         // 15 s socket timeout (Table 3: "apache2 socket poll").
@@ -124,7 +126,7 @@ fn request_arrives(driver: &mut LinuxDriver<WebWorld>, worker: Pid) {
             SimDuration::from_secs(15),
         );
         let link2 = d.world.link.clone();
-        let req_in = link2.sample_rtt(&mut d.rng) / 2;
+        let req_in = link2.sample_rtt_at(d.now(), &mut d.rng) / 2;
         d.after(req_in, move |d| {
             // Request headers arrive: delayed ACK armed; the watchdog
             // poll is re-armed (not cancelled) while the request body
@@ -175,7 +177,7 @@ fn serve_response(driver: &mut LinuxDriver<WebWorld>, conn: ConnId, worker: Pid)
     // arms the RTO.
     driver.kernel.tcp_transmit(conn);
     let link = driver.world.link.clone();
-    match link.send_segment(&mut driver.rng) {
+    match link.send_segment_at(driver.now(), &mut driver.rng) {
         Some(rtt) => {
             driver.after(rtt, move |d| {
                 d.kernel.tcp_ack_received(conn, Some(rtt));
@@ -200,8 +202,14 @@ fn serve_response(driver: &mut LinuxDriver<WebWorld>, conn: ConnId, worker: Pid)
     }
 }
 
-/// Runs the webserver workload.
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> LinuxKernel {
+/// Runs the webserver workload; `net` attaches a degradation episode to
+/// the client/server LAN ([`NetFault::none`] for the paper's conditions).
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
         ..LinuxConfig::default()
@@ -221,7 +229,7 @@ pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> LinuxK
         inflight: 0,
         parallel: 10,
         loop_handles: vec![None; WORKERS as usize],
-        link: netsim::Link::lan(),
+        link: netsim::Link::lan().with_fault(net),
         interarrival: Exp::new(mean_gap.max(1e-4)),
     };
     let rng = SimRng::new(seed ^ 0x3eb5);

@@ -6,6 +6,7 @@
 //! connection lives in the TCP timing wheel. Expiry-dominated like every
 //! Vista trace, with a modest cancellation count from satisfied waits.
 
+use netsim::{Link, NetFault};
 use simtime::{Empirical, Sample, SimDuration, SimRng};
 use trace::TraceSink;
 
@@ -21,6 +22,8 @@ pub struct SkypeWorld {
     wait_values: Empirical,
     /// The call's wheel-managed connection.
     conn: Option<u32>,
+    /// The Internet path of the call (can carry a degradation episode).
+    link: Link,
 }
 
 /// The audio thread's tid.
@@ -50,8 +53,8 @@ impl VistaWorld for SkypeWorld {
             }
             VistaNotify::VtcpRetransmit { conn } => {
                 // The resent voice segment is ACKed an RTT later.
-                let link = netsim::Link::internet_lossy();
-                if let Some(rtt) = link.send_segment(&mut driver.rng) {
+                let link = driver.world.link.clone();
+                if let Some(rtt) = link.send_segment_at(driver.now(), &mut driver.rng) {
                     driver.after(rtt, move |d| d.kernel.vtcp_ack(conn, None));
                 }
             }
@@ -100,8 +103,8 @@ fn schedule_voice(driver: &mut VistaDriver<SkypeWorld>) {
     driver.after(gap, |d| {
         if let Some(conn) = d.world.conn {
             d.kernel.vtcp_transmit(conn);
-            let link = netsim::Link::internet_lossy();
-            if let Some(rtt) = link.send_segment(&mut d.rng) {
+            let link = d.world.link.clone();
+            if let Some(rtt) = link.send_segment_at(d.now(), &mut d.rng) {
                 d.after(rtt, move |d| d.kernel.vtcp_ack(conn, Some(rtt)));
             }
             if d.rng.chance(0.5) {
@@ -112,8 +115,14 @@ fn schedule_voice(driver: &mut VistaDriver<SkypeWorld>) {
     });
 }
 
-/// Runs the Vista Skype workload.
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> VistaKernel {
+/// Runs the Vista Skype workload; `net` attaches a degradation episode to
+/// the call's Internet path ([`NetFault::none`] for the paper's conditions).
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
         ..VistaConfig::default()
@@ -138,13 +147,14 @@ pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> VistaK
             loops: service_sleep_loops(),
             wait_values,
             conn: None,
+            link: Link::internet_lossy().with_fault(net),
         },
     );
     boot_services(&mut driver);
     let conn = driver.kernel.vtcp_connect(pids::SKYPE);
     driver.world.conn = Some(conn);
-    let link = netsim::Link::internet_lossy();
-    let rtt = link.sample_rtt(&mut driver.rng);
+    let link = driver.world.link.clone();
+    let rtt = link.sample_rtt_at(driver.now(), &mut driver.rng);
     driver.after(rtt, move |d| d.kernel.vtcp_established(conn));
     driver.kernel.sleep(
         pids::SKYPE,

@@ -8,6 +8,7 @@
 //! the wheel's driving tick touches the KTIMER ring. The user side is
 //! Apache's per-request timed waits.
 
+use netsim::NetFault;
 use simtime::{Exp, Sample, SimDuration, SimRng};
 use trace::TraceSink;
 
@@ -43,7 +44,7 @@ impl VistaWorld for WebWorld {
             }
             VistaNotify::VtcpRetransmit { conn } => {
                 let link = driver.world.link.clone();
-                if let Some(rtt) = link.send_segment(&mut driver.rng) {
+                if let Some(rtt) = link.send_segment_at(driver.now(), &mut driver.rng) {
                     driver.after(rtt, move |d| d.kernel.vtcp_ack(conn, None));
                 }
             }
@@ -88,7 +89,7 @@ fn serve_request(driver: &mut VistaDriver<WebWorld>, tid: u32) {
     // The worker's wait is satisfied by the new connection.
     driver.kernel.signal_wait(pids::APACHE, tid);
     let link = driver.world.link.clone();
-    let rtt = link.sample_rtt(&mut driver.rng);
+    let rtt = link.sample_rtt_at(driver.now(), &mut driver.rng);
     driver.after(rtt, move |d| {
         d.kernel.vtcp_established(conn);
         d.kernel.vtcp_data_received(conn);
@@ -98,7 +99,7 @@ fn serve_request(driver: &mut VistaDriver<WebWorld>, tid: u32) {
         d.after(service, move |d| {
             d.kernel.vtcp_transmit(conn);
             let link = d.world.link.clone();
-            let rtt2 = link.sample_rtt(&mut d.rng);
+            let rtt2 = link.sample_rtt_at(d.now(), &mut d.rng);
             d.after(rtt2, move |d| {
                 d.kernel.vtcp_ack(conn, Some(rtt2));
                 d.kernel.vtcp_close(conn);
@@ -110,8 +111,15 @@ fn serve_request(driver: &mut VistaDriver<WebWorld>, tid: u32) {
     });
 }
 
-/// Runs the Vista webserver workload.
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> VistaKernel {
+/// Runs the Vista webserver workload; `net` attaches a degradation
+/// episode to the switch path ([`NetFault::none`] for the paper's
+/// conditions).
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
         ..VistaConfig::default()
@@ -131,7 +139,7 @@ pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> VistaK
             remaining: total_requests,
             inflight: 0,
             parallel: 10,
-            link: netsim::Link::lan_100mb(),
+            link: netsim::Link::lan_100mb().with_fault(net),
             interarrival: Exp::new(mean_gap.max(1e-4)),
         },
     );

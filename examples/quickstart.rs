@@ -9,12 +9,12 @@ use timerstudy::{render, run_experiment, ExperimentSpec, Os, Workload};
 
 fn main() {
     // Five simulated minutes of an idle Linux desktop.
-    let result = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Idle,
-        duration: SimDuration::from_secs(300),
-        seed: 42,
-    });
+    let result = run_experiment(ExperimentSpec::new(
+        Os::Linux,
+        Workload::Idle,
+        SimDuration::from_secs(300),
+        42,
+    ));
 
     let s = &result.report.summary;
     println!(

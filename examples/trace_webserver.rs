@@ -12,18 +12,18 @@ use timerstudy::{render, run_experiment, ExperimentSpec, Os, Workload};
 
 fn main() {
     let duration = SimDuration::from_secs(300);
-    let linux = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Webserver,
+    let linux = run_experiment(ExperimentSpec::new(
+        Os::Linux,
+        Workload::Webserver,
         duration,
-        seed: 11,
-    });
-    let vista = run_experiment(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Webserver,
+        11,
+    ));
+    let vista = run_experiment(ExperimentSpec::new(
+        Os::Vista,
+        Workload::Webserver,
         duration,
-        seed: 11,
-    });
+        11,
+    ));
 
     println!("webserver under httperf-style load, 5 simulated minutes\n");
     let (l, v) = (&linux.report.summary, &vista.report.summary);

@@ -4,12 +4,7 @@ use simtime::SimDuration;
 use timerstudy::{run_experiment, ExperimentSpec, Os, Workload};
 
 fn spec(os: Os, workload: Workload, secs: u64) -> ExperimentSpec {
-    ExperimentSpec {
-        os,
-        workload,
-        duration: SimDuration::from_secs(secs),
-        seed: 99,
-    }
+    ExperimentSpec::new(os, workload, SimDuration::from_secs(secs), 99)
 }
 
 #[test]

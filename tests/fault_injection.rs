@@ -1,0 +1,161 @@
+//! Fault-matrix integration tests: experiments under an *active* fault
+//! plane stay deterministic, account for every lost record exactly, and
+//! surface the damage in the rendered tables.
+//!
+//! The CI fault-matrix job runs this suite repeatedly with `FAULT_MODE`
+//! ∈ {drops, net-burst, clock-jitter} × `FAULT_SEED` ∈ {1, 2, 3}; without
+//! the env vars it defaults to 1 % ring drops with seed 1, so a plain
+//! `cargo test` still crosses the injected path.
+
+use simtime::SimDuration;
+use timerstudy::experiment::{run_experiments, table_specs};
+use timerstudy::{render, ExperimentSpec, FaultSpec, Os, Workload};
+
+const SECS: u64 = 20;
+
+/// The fault plane under test, from the CI matrix env (or the 1 % drop
+/// default).
+fn matrix_faults() -> FaultSpec {
+    let mode = std::env::var("FAULT_MODE").unwrap_or_else(|_| "drops".to_owned());
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    FaultSpec::parse(&mode)
+        .unwrap_or_else(|e| panic!("bad FAULT_MODE {mode:?}: {e}"))
+        .with_seed(seed)
+}
+
+fn faulted_specs(faults: FaultSpec) -> Vec<ExperimentSpec> {
+    let duration = SimDuration::from_secs(SECS);
+    let mut specs = table_specs(Os::Linux, duration, 9);
+    specs.extend(table_specs(Os::Vista, duration, 9));
+    specs.into_iter().map(|s| s.with_faults(faults)).collect()
+}
+
+#[test]
+fn one_percent_drops_are_accounted_exactly() {
+    let faults = FaultSpec::ring_drops().with_seed(3);
+    let results = run_experiments(&faulted_specs(faults));
+    for r in &results {
+        let s = &r.report.summary;
+        assert!(
+            s.dropped_records > 0,
+            "{:?}/{:?}: 1% drops over {} records lost nothing",
+            r.spec.os,
+            r.spec.workload,
+            r.records
+        );
+        // Exact conservation: what the kernel logged either reached the
+        // analyzer or is in the drop counter — nothing leaks.
+        assert_eq!(
+            s.accesses + s.dropped_records,
+            r.records,
+            "{:?}/{:?}: delivered + dropped != logged",
+            r.spec.os,
+            r.spec.workload
+        );
+        // Lost Sets leave end events unmatched; the reconstructor must
+        // log orphans rather than fabricate episodes.
+        assert!(
+            s.set >= s.expired.saturating_sub(s.dropped_records),
+            "expiries cannot outnumber surviving sets plus drops"
+        );
+    }
+}
+
+#[test]
+fn summary_tables_surface_nonzero_drop_counts() {
+    let faults = FaultSpec::ring_drops().with_seed(3);
+    let results = run_experiments(&faulted_specs(faults));
+    let (linux, vista) = results.split_at(4);
+    for (os, half) in [("Linux", linux), ("Vista", vista)] {
+        let table = render::summary_table(half);
+        assert!(
+            table.contains("Dropped records"),
+            "{os} table missing drop accounting:\n{table}"
+        );
+        assert!(
+            table.contains("Orphan ends"),
+            "{os} table missing orphan accounting:\n{table}"
+        );
+        for r in half {
+            assert!(
+                table.contains(&r.report.summary.dropped_records.to_string()),
+                "{os} table lost the exact drop count {} for {:?}:\n{table}",
+                r.report.summary.dropped_records,
+                r.spec.workload
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_mode_is_deterministic_and_consistent() {
+    let faults = matrix_faults();
+    let first = run_experiments(&faulted_specs(faults));
+    let second = run_experiments(&faulted_specs(faults));
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap(),
+            "faulted runs must be exactly reproducible ({:?}/{:?}, faults {})",
+            a.spec.os,
+            a.spec.workload,
+            faults.label()
+        );
+        // The analysis keeps its internal decomposition on every degraded
+        // trace.
+        let s = &a.report.summary;
+        assert_eq!(s.accesses, s.user_space + s.kernel);
+        assert_eq!(s.accesses + s.dropped_records, a.records);
+        assert!(s.set >= 1, "a degraded trace still carries sets");
+    }
+}
+
+#[test]
+fn matrix_mode_differs_from_clean_when_it_should() {
+    let faults = matrix_faults();
+    let faulted = run_experiments(&faulted_specs(faults));
+    let clean = run_experiments(
+        &faulted_specs(faults)
+            .into_iter()
+            .map(|s| s.with_faults(FaultSpec::none()))
+            .collect::<Vec<_>>(),
+    );
+    // At least one workload's report must actually feel the fault plane
+    // (drops/jitter touch every trace; a net burst only the networked
+    // workloads, but Skype is always among them).
+    let touched = faulted
+        .iter()
+        .zip(&clean)
+        .filter(|(f, c)| {
+            serde_json::to_string(&f.report).unwrap() != serde_json::to_string(&c.report).unwrap()
+        })
+        .count();
+    assert!(
+        touched >= 1,
+        "fault plane {} was a no-op across all workloads",
+        faults.label()
+    );
+}
+
+#[test]
+fn clock_jitter_and_net_burst_never_panic_with_drops_combined() {
+    // The full matrix corner: everything on at once, over a couple of
+    // seeds, on the most network- and trace-intensive workloads.
+    for seed in [1u64, 2, 3] {
+        let faults = FaultSpec::parse("all").unwrap().with_seed(seed);
+        let duration = SimDuration::from_secs(SECS);
+        let specs = [
+            ExperimentSpec::new(Os::Linux, Workload::Firefox, duration, 9).with_faults(faults),
+            ExperimentSpec::new(Os::Linux, Workload::Skype, duration, 9).with_faults(faults),
+            ExperimentSpec::new(Os::Vista, Workload::Webserver, duration, 9).with_faults(faults),
+        ];
+        for r in run_experiments(&specs) {
+            let s = &r.report.summary;
+            assert_eq!(s.accesses + s.dropped_records, r.records);
+            assert!(s.dropped_records > 0, "combined faults must drop records");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The fault plane's zero-cost-when-off contract: an experiment carrying
+//! an explicit `FaultSpec::none()` is *the same experiment* as one that
+//! never heard of faults — same cache key, bit-identical report, counters
+//! and rendered artifacts. This is what lets the fault machinery live on
+//! the main experiment path without threatening the determinism harness
+//! in `parallel_determinism.rs` or the committed `artifacts/`.
+
+use simtime::SimDuration;
+use timerstudy::cache::ExperimentCache;
+use timerstudy::experiment::{run_experiments, table_specs};
+use timerstudy::figures::{assemble, paper_specs, paper_specs_faulted};
+use timerstudy::{ExperimentSpec, FaultSpec, Os, Workload};
+
+const SECS: u64 = 20;
+
+/// One spec per OS plus the Outlook desktop: enough to cross every
+/// workload runner's faulted entry point.
+fn specs_under_test() -> Vec<ExperimentSpec> {
+    let duration = SimDuration::from_secs(SECS);
+    let mut specs = table_specs(Os::Linux, duration, 77);
+    specs.extend(table_specs(Os::Vista, duration, 77));
+    specs.push(ExperimentSpec::new(
+        Os::Vista,
+        Workload::Outlook,
+        duration,
+        77,
+    ));
+    specs
+}
+
+#[test]
+fn none_faults_reports_are_bit_identical() {
+    let plain = specs_under_test();
+    let explicit: Vec<ExperimentSpec> = plain
+        .iter()
+        .map(|s| s.with_faults(FaultSpec::none()))
+        .collect();
+    let a = run_experiments(&plain);
+    let b = run_experiments(&explicit);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.spec, y.spec, "none() must not change the spec");
+        assert_eq!(
+            serde_json::to_string(&x.report).unwrap(),
+            serde_json::to_string(&y.report).unwrap(),
+            "report differs for {:?}/{:?}",
+            x.spec.os,
+            x.spec.workload
+        );
+        assert_eq!(x.records, y.records);
+        assert_eq!(x.wakeups, y.wakeups);
+        assert_eq!(x.busy, y.busy);
+        assert_eq!(x.logging_overhead, y.logging_overhead);
+        assert_eq!(x.report.summary.dropped_records, 0);
+        assert_eq!(x.report.summary.orphan_ends, 0);
+    }
+}
+
+#[test]
+fn none_faults_hits_the_same_cache_entry() {
+    let specs = specs_under_test();
+    let cache = ExperimentCache::new();
+    cache.run_all(&specs);
+    let misses = cache.misses();
+    // Re-requesting through with_faults(none()) must be all cache hits.
+    let explicit: Vec<ExperimentSpec> = specs
+        .iter()
+        .map(|s| s.with_faults(FaultSpec::none()))
+        .collect();
+    cache.run_all(&explicit);
+    assert_eq!(
+        cache.misses(),
+        misses,
+        "FaultSpec::none() forked the cache key"
+    );
+    assert_eq!(cache.hits(), specs.len() as u64);
+}
+
+#[test]
+fn none_faults_artifacts_match_the_clean_pipeline() {
+    let duration = SimDuration::from_secs(SECS);
+    let clean = assemble(&run_experiments(&paper_specs(duration, 7)));
+    let faulted_off = assemble(&run_experiments(&paper_specs_faulted(
+        duration,
+        7,
+        FaultSpec::none(),
+    )));
+    assert_eq!(clean.len(), faulted_off.len());
+    for (c, f) in clean.iter().zip(&faulted_off) {
+        assert_eq!(c.printable(), f.printable(), "artifact text differs");
+        assert_eq!(c.csv, f.csv, "artifact csv differs");
+        // No fault-accounting rows may leak into a clean rendering.
+        assert!(
+            !c.text.contains("Dropped records"),
+            "clean artifact mentions drops:\n{}",
+            c.text
+        );
+    }
+}
+
+#[test]
+fn active_faults_key_their_own_cache_entries() {
+    let duration = SimDuration::from_secs(SECS);
+    let base = ExperimentSpec::new(Os::Linux, Workload::Skype, duration, 7);
+    let cache = ExperimentCache::new();
+    cache.run_all(&[
+        base,
+        base.with_faults(FaultSpec::ring_drops()),
+        base.with_faults(FaultSpec::net_burst()),
+        base.with_faults(FaultSpec::clock_jitter()),
+    ]);
+    assert_eq!(
+        cache.misses(),
+        4,
+        "each distinct fault plane must run separately"
+    );
+    assert_eq!(cache.hits(), 0);
+}

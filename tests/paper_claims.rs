@@ -59,25 +59,10 @@ fn workload_intensity_ordering_matches_table1() {
 #[test]
 fn linux_webserver_kernel_dominates_but_vista_webserver_does_not_grow() {
     // Table 1 vs Table 2 webserver columns + the §1 TCP-wheel story.
-    let lweb = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Webserver,
-        duration: RUN,
-        seed: 3,
-    });
+    let lweb = run_experiment(ExperimentSpec::new(Os::Linux, Workload::Webserver, RUN, 3));
     assert!(lweb.report.summary.kernel > lweb.report.summary.user_space);
-    let vidle = run_experiment(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Idle,
-        duration: RUN,
-        seed: 3,
-    });
-    let vweb = run_experiment(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Webserver,
-        duration: RUN,
-        seed: 3,
-    });
+    let vidle = run_experiment(ExperimentSpec::new(Os::Vista, Workload::Idle, RUN, 3));
+    let vweb = run_experiment(ExperimentSpec::new(Os::Vista, Workload::Webserver, RUN, 3));
     let ratio = vweb.report.summary.kernel as f64 / vidle.report.summary.kernel as f64;
     assert!(
         ratio < 2.0,
@@ -90,12 +75,7 @@ fn linux_values_are_jiffy_quantised_vista_values_are_not() {
     // §4.3: "Linux rounds timeouts to the nearest jiffy. Therefore, we do
     // not see any timers of less than one jiffy (4ms) in the Linux
     // traces... not seen in the Vista traces."
-    let linux = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Firefox,
-        duration: RUN,
-        seed: 3,
-    });
+    let linux = run_experiment(ExperimentSpec::new(Os::Linux, Workload::Firefox, RUN, 3));
     for p in &linux.report.scatter {
         assert!(
             p.seconds >= 0.0039,
@@ -103,12 +83,7 @@ fn linux_values_are_jiffy_quantised_vista_values_are_not() {
             p.seconds
         );
     }
-    let vista = run_experiment(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Firefox,
-        duration: RUN,
-        seed: 3,
-    });
+    let vista = run_experiment(ExperimentSpec::new(Os::Vista, Workload::Firefox, RUN, 3));
     assert!(
         vista.report.scatter.iter().any(|p| p.seconds < 0.002),
         "Vista carries sub-millisecond requested values"
@@ -119,12 +94,7 @@ fn linux_values_are_jiffy_quantised_vista_values_are_not() {
 fn skype_sets_both_4999_and_half_second() {
     // §4.2: Skype "is dominated by constant timeouts of 0, 0.4999 and
     // 0.5" — the histogram must keep 0.4999 and 0.5 distinct.
-    let r = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Skype,
-        duration: RUN,
-        seed: 3,
-    });
+    let r = run_experiment(ExperimentSpec::new(Os::Linux, Workload::Skype, RUN, 3));
     let rows = &r.report.values_user;
     assert!(has_value(rows, 0.0), "zero-timeout polls missing");
     assert!(has_value(rows, 0.4999), "0.4999 missing: {rows:?}");
@@ -136,12 +106,7 @@ fn table3_constants_appear_in_webserver_values() {
     // Table 3's kernel constants emerge from the mechanisms: the 40 ms
     // delayed ACK, the 3 s SYN retransmit, 15 s Apache poll, 30 s IDE,
     // 7200 s keepalive.
-    let r = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Webserver,
-        duration: RUN,
-        seed: 3,
-    });
+    let r = run_experiment(ExperimentSpec::new(Os::Linux, Workload::Webserver, RUN, 3));
     let rows = &r.report.values_filtered;
     for v in [0.04, 3.0, 15.0, 30.0, 7200.0] {
         assert!(has_value(rows, v), "expected value {v} in {rows:?}");
@@ -153,12 +118,7 @@ fn tcp_rto_floor_appears_in_skype_trace() {
     // Table 3: "0.204 TCP retransmission timeout ... determined by online
     // adaptation" — with steady sub-floor RTTs the adaptive RTO sits at
     // its 204 ms floor.
-    let r = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Skype,
-        duration: RUN,
-        seed: 3,
-    });
+    let r = run_experiment(ExperimentSpec::new(Os::Linux, Workload::Skype, RUN, 3));
     assert!(
         has_value(&r.report.values_filtered, 0.204),
         "0.204 missing from {:?}",
@@ -170,12 +130,7 @@ fn tcp_rto_floor_appears_in_skype_trace() {
 fn arp_five_second_vertical_array() {
     // §4.3: the constant 5 s ARP timer cancelled at random intervals
     // shows as a vertical array at 5 s spanning a wide percentage range.
-    let r = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Webserver,
-        duration: RUN,
-        seed: 3,
-    });
+    let r = run_experiment(ExperimentSpec::new(Os::Linux, Workload::Webserver, RUN, 3));
     let at5: Vec<f64> = r
         .report
         .scatter
@@ -195,12 +150,12 @@ fn arp_five_second_vertical_array() {
 #[test]
 fn outlook_bursts_reach_thousands_per_second() {
     // §2.2.1 / Figure 1: ~70 timers/s idle, bursts to ~7000/s.
-    let r = run_experiment(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Outlook,
-        duration: timerstudy::FIG1_DURATION,
-        seed: 3,
-    });
+    let r = run_experiment(ExperimentSpec::new(
+        Os::Vista,
+        Workload::Outlook,
+        timerstudy::FIG1_DURATION,
+        3,
+    ));
     let outlook = r.report.rate_series.get("Outlook").expect("series");
     let peak = outlook.iter().copied().max().unwrap_or(0);
     assert!(peak > 2_000, "burst peak = {peak}");
@@ -216,12 +171,7 @@ fn outlook_bursts_reach_thousands_per_second() {
 fn firefox_cancellations_spread_uniformly() {
     // §4.3: Firefox cancellations are "equally distributed between 0% and
     // 100%".
-    let r = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Firefox,
-        duration: RUN,
-        seed: 3,
-    });
+    let r = run_experiment(ExperimentSpec::new(Os::Linux, Workload::Firefox, RUN, 3));
     let cancels: Vec<(f64, u64)> = r
         .report
         .scatter
@@ -278,12 +228,7 @@ fn vista_traces_show_the_deferred_pattern() {
     // 4.1.1: "Vista traces ... show a further distinctive pattern"
     // (deferred: repeatedly pushed out, then expires — registry lazy
     // close). The Linux taxonomy does not contain it.
-    let vista = run_experiment(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Idle,
-        duration: RUN,
-        seed: 3,
-    });
+    let vista = run_experiment(ExperimentSpec::new(Os::Vista, Workload::Idle, RUN, 3));
     assert!(
         vista
             .report
@@ -293,12 +238,7 @@ fn vista_traces_show_the_deferred_pattern() {
         "mix = {:?}",
         vista.report.pattern_mix
     );
-    let linux = run_experiment(ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Idle,
-        duration: RUN,
-        seed: 3,
-    });
+    let linux = run_experiment(ExperimentSpec::new(Os::Linux, Workload::Idle, RUN, 3));
     assert_eq!(
         linux
             .report

@@ -23,12 +23,12 @@ fn specs_under_test() -> Vec<ExperimentSpec> {
     let duration = SimDuration::from_secs(SECS);
     let mut specs = table_specs(Os::Linux, duration, 1234);
     specs.extend(table_specs(Os::Vista, duration, 1234));
-    specs.push(ExperimentSpec {
-        os: Os::Vista,
-        workload: Workload::Outlook,
+    specs.push(ExperimentSpec::new(
+        Os::Vista,
+        Workload::Outlook,
         duration,
-        seed: 1234,
-    });
+        1234,
+    ));
     specs
 }
 
@@ -119,12 +119,7 @@ fn rendered_artifacts_identical_across_paths() {
 
 #[test]
 fn trials_are_order_independent_and_distinct() {
-    let base = ExperimentSpec {
-        os: Os::Linux,
-        workload: Workload::Skype,
-        duration: SimDuration::from_secs(SECS),
-        seed: 42,
-    };
+    let base = ExperimentSpec::new(Os::Linux, Workload::Skype, SimDuration::from_secs(SECS), 42);
     let trials = run_trials(base, 4);
     assert_eq!(trials.len(), 4);
     // Trial 0 is byte-identical to a plain single run of the base spec.
