@@ -1,0 +1,69 @@
+//! Overhead of the telemetry layer on the hot paths it instruments.
+//!
+//! Each benchmark runs the same operation mix twice: with metric
+//! recording enabled (the default) and disabled via
+//! `telemetry::set_enabled(false)`, which reduces every sim-plane
+//! recording call to a single relaxed atomic load — the uninstrumented
+//! baseline. The companion smoke test
+//! (`crates/core/tests/telemetry_overhead_smoke.rs`) asserts the
+//! end-to-end difference stays within budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simtime::{SimDuration, SimInstant, SimRng};
+use trace::{Event, EventKind, RingBuffer, RingSink, Space, TraceLog};
+use wheel::{HierarchicalWheel, TimerQueue};
+
+fn wheel_mixed_ops(n: u64, rng: &mut SimRng) -> u64 {
+    let mut q = HierarchicalWheel::new();
+    let mut fired = 0u64;
+    let mut now = 0u64;
+    for i in 0..n {
+        let delta = 1 + rng.range_u64(0, 5_000);
+        q.schedule(i % 512, now + delta);
+        if rng.chance(0.6) {
+            q.cancel(rng.range_u64(0, 512));
+        }
+        if i % 16 == 0 {
+            now += 40;
+            q.advance_to(now, &mut |_, _| fired += 1);
+        }
+    }
+    fired
+}
+
+fn log_records(n: u64) -> u64 {
+    let mut log = TraceLog::new(Box::new(RingSink::new(RingBuffer::new(64 * 1024 * 1024))));
+    for i in 0..n {
+        log.log(
+            Event::new(
+                SimInstant::from_nanos(i * 1_000),
+                EventKind::Set,
+                0xC100_0000 + (i % 64) * 0x40,
+                (i % 32) as u32,
+            )
+            .with_timeout(SimDuration::from_millis(i % 500))
+            .with_task(100, 100, Space::User),
+        );
+    }
+    n
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    for (label, on) in [("instrumented", true), ("baseline_disabled", false)] {
+        group.bench_with_input(BenchmarkId::new("wheel_mixed_ops", label), &on, |b, &on| {
+            telemetry::set_enabled(on);
+            b.iter(|| wheel_mixed_ops(50_000, &mut SimRng::new(1)));
+            telemetry::set_enabled(true);
+        });
+        group.bench_with_input(BenchmarkId::new("trace_log", label), &on, |b, &on| {
+            telemetry::set_enabled(on);
+            b.iter(|| log_records(50_000));
+            telemetry::set_enabled(true);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 use timerstudy::{cache, figures, ExperimentSpec, Os, Workload, FIG1_DURATION};
 
 fn main() {
+    let started = std::time::Instant::now();
     let result = cache::global().get_or_run(ExperimentSpec::new(
         Os::Vista,
         Workload::Outlook,
@@ -9,4 +10,5 @@ fn main() {
         7,
     ));
     println!("{}", figures::fig01(&result).printable());
+    bench::print_stage_summary("fig01", [result.as_ref()], started);
 }

@@ -7,9 +7,11 @@ use timerstudy::experiment::{
 use timerstudy::{figures, ExperimentSpec, Os, Workload};
 
 fn main() {
+    let started = std::time::Instant::now();
     let duration = repro_duration();
     let results = run_table_workloads(Os::Linux, duration, 7);
     println!("{}", figures::fig02(&results).printable());
+    bench::print_stage_summary("fig02", &results, started);
     if std::env::args().any(|a| a == "--sweep") {
         println!("=== jitter-tolerance sensitivity (Idle workload) ===");
         for tol_us in [100u64, 500, 2_000, 8_000] {

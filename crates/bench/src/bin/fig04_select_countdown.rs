@@ -3,6 +3,7 @@ use timerstudy::experiment::repro_duration;
 use timerstudy::{cache, figures, ExperimentSpec, Os, Workload};
 
 fn main() {
+    let started = std::time::Instant::now();
     let result = cache::global().get_or_run(ExperimentSpec::new(
         Os::Linux,
         Workload::Idle,
@@ -12,4 +13,5 @@ fn main() {
     println!("{}", figures::fig04(&result).printable());
     let (detected, flagged) = result.report.countdown_validation;
     println!("countdown detector: {detected} sets detected vs {flagged} ground-truth flagged");
+    bench::print_stage_summary("fig04", [result.as_ref()], started);
 }

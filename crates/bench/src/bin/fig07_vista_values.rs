@@ -3,6 +3,8 @@ use timerstudy::experiment::{repro_duration, run_table_workloads};
 use timerstudy::{figures, Os};
 
 fn main() {
+    let started = std::time::Instant::now();
     let results = run_table_workloads(Os::Vista, repro_duration(), 7);
     println!("{}", figures::fig07(&results).printable());
+    bench::print_stage_summary("fig07", &results, started);
 }

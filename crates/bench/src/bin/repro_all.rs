@@ -10,9 +10,31 @@
 //! every experiment (`SPEC` is a comma list of `drops[=PERMILLE]`,
 //! `net-burst`, `clock-jitter`, `all`, `seed=N`); the summary tables then
 //! gain drop/degradation accounting rows.
+//!
+//! `--metrics[=DIR]` (default `artifacts/metrics`) writes the telemetry
+//! run report — `run_report.json` plus `run_report.prom` — aggregating
+//! each experiment's sim-plane snapshot with this process's wall-plane
+//! spans and counters. The sim section is bit-identical across
+//! `--serial`, parallel and cached runs of the same parameters; see the
+//! Observability section of the README.
 
 use timerstudy::experiment::repro_duration;
 use timerstudy::FaultSpec;
+
+const SEED: u64 = 7;
+
+/// Parses `--metrics` / `--metrics=DIR` into the report directory.
+fn metrics_dir(args: &[String]) -> Option<String> {
+    for arg in args {
+        if arg == "--metrics" {
+            return Some("artifacts/metrics".to_string());
+        }
+        if let Some(dir) = arg.strip_prefix("--metrics=") {
+            return Some(dir.to_string());
+        }
+    }
+    None
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,6 +44,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let serial = args.iter().any(|a| a == "--serial");
+    let metrics = metrics_dir(&args);
     let faults = match args
         .iter()
         .position(|a| a == "--faults")
@@ -37,30 +60,42 @@ fn main() {
         None => FaultSpec::none(),
     };
     let duration = repro_duration();
+    let threads = if serial {
+        1
+    } else {
+        timerstudy::parallel::default_threads(9)
+    };
     eprintln!(
         "running all experiments at {} simulated seconds per trace ({}, faults: {})...",
         duration.as_secs(),
         if serial {
             "serial reference path".to_owned()
         } else {
-            format!(
-                "parallel, up to {} threads",
-                timerstudy::parallel::default_threads(9)
-            )
+            format!("parallel, up to {threads} threads")
         },
         faults.label(),
     );
     let started = std::time::Instant::now();
-    let artifacts = if !faults.is_none() {
-        timerstudy::figures::reproduce_all_faulted(duration, 7, faults)
+    let (mode, (results, artifacts)) = if !faults.is_none() {
+        (
+            "faulted",
+            timerstudy::figures::reproduce_all_faulted_with_results(duration, SEED, faults),
+        )
     } else if serial {
-        timerstudy::figures::reproduce_all_serial(duration, 7)
+        (
+            "serial",
+            timerstudy::figures::reproduce_all_serial_with_results(duration, SEED),
+        )
     } else {
-        timerstudy::figures::reproduce_all(duration, 7)
+        (
+            "parallel",
+            timerstudy::figures::reproduce_all_with_results(duration, SEED),
+        )
     };
+    let wall = started.elapsed();
     eprintln!(
         "all experiments finished in {:.2} s wall-clock",
-        started.elapsed().as_secs_f64()
+        wall.as_secs_f64()
     );
     for (index, artifact) in artifacts.iter().enumerate() {
         println!("{}", artifact.printable());
@@ -83,5 +118,25 @@ fn main() {
     }
     if let Some(dir) = &artifacts_dir {
         eprintln!("artifacts written to {dir}/");
+    }
+    // The final run summary is always printed, metrics requested or not.
+    let cache = timerstudy::cache::global();
+    bench::print_stage_summary(&format!("repro_all.{mode}"), &results, started);
+    eprintln!(
+        "run summary: cache {} hits / {} misses, {} thread(s), {:.2} s wall-clock",
+        cache.hits(),
+        cache.misses(),
+        threads,
+        wall.as_secs_f64()
+    );
+    if let Some(dir) = metrics {
+        let report =
+            timerstudy::run_report(&results, mode, duration.as_secs(), SEED, threads, wall);
+        std::fs::create_dir_all(&dir).expect("create metrics dir");
+        std::fs::write(format!("{dir}/run_report.json"), report.to_json())
+            .expect("write run_report.json");
+        std::fs::write(format!("{dir}/run_report.prom"), report.to_prometheus())
+            .expect("write run_report.prom");
+        eprintln!("telemetry run report written to {dir}/run_report.{{json,prom}}");
     }
 }

@@ -1,0 +1,78 @@
+//! Validates telemetry run reports written by `repro_all --metrics`.
+//!
+//! * `validate_report FILE` — parses FILE and checks it against the run
+//!   report schema (version, required sections, every sim-plane metric
+//!   present with integer values).
+//! * `validate_report --assert-sim-equal A B` — additionally asserts the
+//!   two reports' `sim` sections are identical after canonicalisation.
+//!   This is the CI drift check: two runs of the same parameters must
+//!   agree on the sim plane regardless of thread count or cache state,
+//!   while their wall planes are allowed (expected) to differ.
+
+use telemetry::json;
+use telemetry::report::{sim_section_canonical, validate_value};
+
+fn load(path: &str) -> json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: cannot read: {e}");
+        std::process::exit(1);
+    });
+    let value = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid JSON: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = validate_value(&value) {
+        eprintln!("{path}: schema violation: {e}");
+        std::process::exit(1);
+    }
+    value
+}
+
+fn sim_canonical(path: &str, value: &json::Value) -> String {
+    sim_section_canonical(value).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [path] if path != "--assert-sim-equal" => {
+            load(path);
+            eprintln!("{path}: schema-valid run report");
+        }
+        [flag, a, b] if flag == "--assert-sim-equal" => {
+            let va = load(a);
+            let vb = load(b);
+            let ca = sim_canonical(a, &va);
+            let cb = sim_canonical(b, &vb);
+            if ca != cb {
+                eprintln!("sim-plane drift between {a} and {b}:");
+                eprintln!("  {a}: {} canonical bytes", ca.len());
+                eprintln!("  {b}: {} canonical bytes", cb.len());
+                let diverge = ca
+                    .bytes()
+                    .zip(cb.bytes())
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(ca.len().min(cb.len()));
+                let start = diverge.saturating_sub(40);
+                eprintln!(
+                    "  first divergence at byte {diverge}:\n    {a}: ...{}\n    {b}: ...{}",
+                    &ca[start..(diverge + 40).min(ca.len())],
+                    &cb[start..(diverge + 40).min(cb.len())],
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "{a} and {b}: sim planes identical ({} canonical bytes)",
+                ca.len()
+            );
+        }
+        _ => {
+            eprintln!("usage: validate_report FILE");
+            eprintln!("       validate_report --assert-sim-equal FILE1 FILE2");
+            std::process::exit(2);
+        }
+    }
+}

@@ -9,18 +9,32 @@
 //! Tables 1-3 and the scatter plots instead of re-simulating them.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+use telemetry::Counter;
 
 use crate::experiment::{ExperimentResult, ExperimentSpec};
 use crate::parallel::run_experiments_parallel;
 
 /// A thread-safe memo table of completed experiments, keyed by spec.
-#[derive(Default)]
+///
+/// Hit/miss counters are telemetry-backed (wall plane): the getters stay
+/// thin reads over this cache's own counts, while the registry aggregates
+/// every cache instance under `experiment_cache_{hits,misses}_total`.
 pub struct ExperimentCache {
     results: Mutex<HashMap<ExperimentSpec, Arc<ExperimentResult>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl Default for ExperimentCache {
+    fn default() -> Self {
+        ExperimentCache {
+            results: Mutex::new(HashMap::new()),
+            hits: Counter::new("experiment_cache_hits_total"),
+            misses: Counter::new("experiment_cache_misses_total"),
+        }
+    }
 }
 
 impl std::fmt::Debug for ExperimentCache {
@@ -45,7 +59,7 @@ impl ExperimentCache {
         if let Some(hit) = self.lookup(spec) {
             return hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let result = Arc::new(crate::experiment::run_experiment(spec));
         self.insert(spec, result)
     }
@@ -64,14 +78,14 @@ impl ExperimentCache {
             let results = self.results.lock().expect("experiment cache poisoned");
             for &spec in specs {
                 if results.contains_key(&spec) || seen.insert(spec, ()).is_some() {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                 } else {
                     todo.push(spec);
                 }
             }
         }
         if !todo.is_empty() {
-            self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+            self.misses.add(todo.len() as u64);
             let fresh = run_experiments_parallel(&todo);
             for (spec, result) in todo.into_iter().zip(fresh) {
                 self.insert(spec, Arc::new(result));
@@ -90,12 +104,12 @@ impl ExperimentCache {
 
     /// Cache hits so far (lookups answered without running).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses so far (experiments actually run).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Number of distinct specs cached.
@@ -114,7 +128,7 @@ impl ExperimentCache {
     fn lookup(&self, spec: ExperimentSpec) -> Option<Arc<ExperimentResult>> {
         let hit = self.peek(spec);
         if hit.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         hit
     }

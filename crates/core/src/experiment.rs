@@ -92,6 +92,11 @@ pub struct ExperimentResult {
     pub records: u64,
     /// Modeled instrumentation overhead (records × 89 ns, §3.2).
     pub logging_overhead: SimDuration,
+    /// The experiment's sim-plane telemetry snapshot — a pure function of
+    /// the spec, captured while the run executed. Cached results carry
+    /// the snapshot of the original run, which is what keeps run-report
+    /// sim metrics bit-identical across serial/parallel/cached modes.
+    pub metrics: telemetry::SimSnapshot,
 }
 
 /// A sink that owns a [`TraceAnalyzer`] and can hand it back.
@@ -138,55 +143,71 @@ pub fn run_experiment(spec: ExperimentSpec) -> ExperimentResult {
 /// Runs one experiment with an explicit analyzer configuration (used by
 /// the classifier-tolerance ablation).
 pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> ExperimentResult {
-    let analyzer: Box<dyn TraceSink> = Box::new(AnalyzerSink(Some(TraceAnalyzer::new(cfg))));
-    // The fault adaptor is installed only when a trace-plane fault is
-    // active, so a clean spec's sink chain is structurally identical to
-    // the pre-fault-plane one.
-    let trace_faulted = !spec.faults.drops.is_none() || !spec.faults.clock.is_none();
-    let sink: Box<dyn TraceSink> = if trace_faulted {
-        Box::new(FaultSink::new(
-            analyzer,
-            spec.faults.drops,
-            spec.faults.clock,
-            spec.faults.seed,
-        ))
-    } else {
-        analyzer
-    };
-    let net = spec.faults.net;
-    let (mut report, wakeups, busy, records, logging_overhead, dropped) = match spec.os {
-        Os::Linux => {
-            let mut kernel =
-                workloads::run_linux_faulted(spec.workload, spec.seed, spec.duration, sink, net);
-            let wakeups = kernel.cpu().wakeups();
-            let busy = kernel.cpu().busy_time();
-            let records = kernel.log().records_logged();
-            let overhead = kernel.log().modeled_overhead();
-            let (analyzer, dropped) = recover_analyzer(kernel.log_mut().sink_mut());
-            let report = analyzer.finish(kernel.log().strings());
-            (report, wakeups, busy, records, overhead, dropped)
+    let _experiment_span = telemetry::span("stage.experiment");
+    telemetry::global().add("experiments_run_total", 1);
+    // Everything sim-plane recorded below (wheel, trace, netsim, virtual
+    // time) lands in a fresh scoped accumulator, so the snapshot is this
+    // experiment's alone regardless of which worker thread ran it.
+    let (mut result, metrics) = telemetry::sim::scoped(|| {
+        let analyzer: Box<dyn TraceSink> = Box::new(AnalyzerSink(Some(TraceAnalyzer::new(cfg))));
+        // The fault adaptor is installed only when a trace-plane fault is
+        // active, so a clean spec's sink chain is structurally identical to
+        // the pre-fault-plane one.
+        let trace_faulted = !spec.faults.drops.is_none() || !spec.faults.clock.is_none();
+        let sink: Box<dyn TraceSink> = if trace_faulted {
+            Box::new(FaultSink::new(
+                analyzer,
+                spec.faults.drops,
+                spec.faults.clock,
+                spec.faults.seed,
+            ))
+        } else {
+            analyzer
+        };
+        let net = spec.faults.net;
+        let (mut report, wakeups, busy, records, logging_overhead, dropped) = match spec.os {
+            Os::Linux => {
+                let mut kernel = {
+                    let _workload_span = telemetry::span("stage.workload");
+                    workloads::run_linux_faulted(spec.workload, spec.seed, spec.duration, sink, net)
+                };
+                let _analysis_span = telemetry::span("stage.analysis");
+                let wakeups = kernel.cpu().wakeups();
+                let busy = kernel.cpu().busy_time();
+                let records = kernel.log().records_logged();
+                let overhead = kernel.log().modeled_overhead();
+                let (analyzer, dropped) = recover_analyzer(kernel.log_mut().sink_mut());
+                let report = analyzer.finish(kernel.log().strings());
+                (report, wakeups, busy, records, overhead, dropped)
+            }
+            Os::Vista => {
+                let mut kernel = {
+                    let _workload_span = telemetry::span("stage.workload");
+                    workloads::run_vista_faulted(spec.workload, spec.seed, spec.duration, sink, net)
+                };
+                let _analysis_span = telemetry::span("stage.analysis");
+                let wakeups = kernel.cpu().wakeups();
+                let busy = kernel.cpu().busy_time();
+                let records = kernel.log().records_logged();
+                let overhead = kernel.log().modeled_overhead();
+                let (analyzer, dropped) = recover_analyzer(kernel.log_mut().sink_mut());
+                let report = analyzer.finish(kernel.log().strings());
+                (report, wakeups, busy, records, overhead, dropped)
+            }
+        };
+        report.summary.dropped_records = dropped;
+        ExperimentResult {
+            spec,
+            report,
+            wakeups,
+            busy,
+            records,
+            logging_overhead,
+            metrics: telemetry::SimSnapshot::empty(),
         }
-        Os::Vista => {
-            let mut kernel =
-                workloads::run_vista_faulted(spec.workload, spec.seed, spec.duration, sink, net);
-            let wakeups = kernel.cpu().wakeups();
-            let busy = kernel.cpu().busy_time();
-            let records = kernel.log().records_logged();
-            let overhead = kernel.log().modeled_overhead();
-            let (analyzer, dropped) = recover_analyzer(kernel.log_mut().sink_mut());
-            let report = analyzer.finish(kernel.log().strings());
-            (report, wakeups, busy, records, overhead, dropped)
-        }
-    };
-    report.summary.dropped_records = dropped;
-    ExperimentResult {
-        spec,
-        report,
-        wakeups,
-        busy,
-        records,
-        logging_overhead,
-    }
+    });
+    result.metrics = metrics;
+    result
 }
 
 /// Recovers the analyzer (and any fault adaptor's drop count) from the

@@ -273,6 +273,7 @@ pub fn paper_specs_faulted(
 /// Assembles the paper's artifacts from results laid out as
 /// [`paper_specs`] returns them (4 Linux, 4 Vista, 1 Outlook).
 pub fn assemble(results: &[ExperimentResult]) -> Vec<Artifact> {
+    let _assemble_span = telemetry::span("stage.assemble");
     assert_eq!(
         results.len(),
         9,
@@ -306,15 +307,35 @@ pub fn assemble(results: &[ExperimentResult]) -> Vec<Artifact> {
 /// binary that already ran some of them (or calls this twice) never
 /// re-simulates a spec.
 pub fn reproduce_all(duration: simtime::SimDuration, seed: u64) -> Vec<Artifact> {
+    reproduce_all_with_results(duration, seed).1
+}
+
+/// [`reproduce_all`], also returning the experiment results so callers
+/// (e.g. `repro_all --metrics`) can aggregate per-experiment telemetry
+/// snapshots into a run report.
+pub fn reproduce_all_with_results(
+    duration: simtime::SimDuration,
+    seed: u64,
+) -> (Vec<ExperimentResult>, Vec<Artifact>) {
     let results = crate::cache::global().run_all(&paper_specs(duration, seed));
-    assemble(&results)
+    let artifacts = assemble(&results);
+    (results, artifacts)
 }
 
 /// The strictly serial, uncached equivalent of [`reproduce_all`] — the
 /// reference path the determinism harness compares against.
 pub fn reproduce_all_serial(duration: simtime::SimDuration, seed: u64) -> Vec<Artifact> {
+    reproduce_all_serial_with_results(duration, seed).1
+}
+
+/// [`reproduce_all_serial`], also returning the experiment results.
+pub fn reproduce_all_serial_with_results(
+    duration: simtime::SimDuration,
+    seed: u64,
+) -> (Vec<ExperimentResult>, Vec<Artifact>) {
     let results = crate::experiment::run_experiments(&paper_specs(duration, seed));
-    assemble(&results)
+    let artifacts = assemble(&results);
+    (results, artifacts)
 }
 
 /// [`reproduce_all`] under fault injection: every experiment carries
@@ -325,6 +346,16 @@ pub fn reproduce_all_faulted(
     seed: u64,
     faults: crate::FaultSpec,
 ) -> Vec<Artifact> {
+    reproduce_all_faulted_with_results(duration, seed, faults).1
+}
+
+/// [`reproduce_all_faulted`], also returning the experiment results.
+pub fn reproduce_all_faulted_with_results(
+    duration: simtime::SimDuration,
+    seed: u64,
+    faults: crate::FaultSpec,
+) -> (Vec<ExperimentResult>, Vec<Artifact>) {
     let results = crate::cache::global().run_all(&paper_specs_faulted(duration, seed, faults));
-    assemble(&results)
+    let artifacts = assemble(&results);
+    (results, artifacts)
 }

@@ -31,6 +31,7 @@ pub mod cache;
 pub mod experiment;
 pub mod faults;
 pub mod figures;
+pub mod metrics;
 pub mod parallel;
 pub mod render;
 
@@ -38,6 +39,7 @@ pub use analysis::Report;
 pub use cache::ExperimentCache;
 pub use experiment::{run_experiment, run_experiments, ExperimentResult, ExperimentSpec, Os};
 pub use faults::FaultSpec;
+pub use metrics::{run_report, spec_label};
 pub use parallel::{run_experiments_parallel, run_experiments_parallel_with, run_trials};
 pub use workloads::Workload;
 

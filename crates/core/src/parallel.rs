@@ -15,10 +15,22 @@
 //! never reorder the output.
 
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use crate::experiment::{run_experiment, ExperimentResult, ExperimentSpec};
+
+/// Renders a caught panic payload for the failure report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Picks the worker count: the `REPRO_THREADS` environment variable when
 /// set (and non-zero), otherwise the machine's available parallelism,
@@ -51,31 +63,57 @@ pub fn run_experiments_parallel_with(
         return Vec::new();
     }
     let threads = threads.clamp(1, specs.len());
+    telemetry::global().gauge_max("parallel_threads", threads as u64);
     if threads == 1 {
         return crate::experiment::run_experiments(specs);
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, ExperimentResult)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<ExperimentResult, String>)>();
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
             scope.spawn(move |_| {
                 loop {
+                    let queue_wait = telemetry::span("parallel.queue_wait");
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&spec) = specs.get(index) else { break };
+                    drop(queue_wait);
+                    // Catch a panicking experiment so the caller can say
+                    // WHICH spec failed instead of dying on a bare join
+                    // error; the worker keeps draining the queue so the
+                    // other results still come back.
+                    let _worker_busy = telemetry::span("parallel.worker_busy");
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| run_experiment(spec)))
+                        .map_err(|payload| panic_message(payload.as_ref()));
                     // A send only fails if the receiver is gone, which
                     // cannot happen while the scope holds `rx` alive.
-                    let _ = tx.send((index, run_experiment(spec)));
+                    let _ = tx.send((index, outcome));
                 }
             });
         }
     })
-    .expect("experiment worker panicked");
+    .expect("experiment worker thread failed outside catch_unwind");
     drop(tx);
     let mut slots: Vec<Option<ExperimentResult>> = (0..specs.len()).map(|_| None).collect();
-    for (index, result) in rx {
-        slots[index] = Some(result);
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    for (index, outcome) in rx {
+        match outcome {
+            Ok(result) => slots[index] = Some(result),
+            Err(message) => failures.push((index, message)),
+        }
+    }
+    if !failures.is_empty() {
+        failures.sort_by_key(|&(index, _)| index);
+        let details: Vec<String> = failures
+            .iter()
+            .map(|(index, message)| format!("  spec {:?}: {message}", specs[*index]))
+            .collect();
+        panic!(
+            "{} experiment worker(s) panicked:\n{}",
+            failures.len(),
+            details.join("\n")
+        );
     }
     slots
         .into_iter()

@@ -1,0 +1,50 @@
+//! Telemetry overhead budget smoke test.
+//!
+//! Runs the same experiment with metric recording enabled and disabled
+//! (`telemetry::set_enabled`) and asserts the instrumented path stays
+//! within 10% of the baseline. Minimum-of-N timings with interleaved
+//! runs keep the comparison robust against scheduler noise; the
+//! `telemetry_overhead` criterion bench gives the detailed numbers.
+
+use std::time::{Duration, Instant};
+
+use simtime::SimDuration;
+use timerstudy::{run_experiment, ExperimentSpec, Os, Workload};
+
+fn timed(spec: ExperimentSpec) -> Duration {
+    let started = Instant::now();
+    let result = run_experiment(spec);
+    assert!(result.records > 0);
+    started.elapsed()
+}
+
+#[test]
+fn instrumented_run_within_ten_percent_of_baseline() {
+    let spec = ExperimentSpec::new(Os::Linux, Workload::Idle, SimDuration::from_secs(5), 99);
+
+    // Warm up allocator, code and branch caches for both modes.
+    for on in [false, true] {
+        telemetry::set_enabled(on);
+        timed(spec);
+    }
+    telemetry::set_enabled(true);
+
+    // Interleave the two modes so slow drift (thermal, other processes)
+    // hits both equally, and keep the minimum of each.
+    let mut baseline = Duration::MAX;
+    let mut instrumented = Duration::MAX;
+    for _ in 0..7 {
+        telemetry::set_enabled(false);
+        baseline = baseline.min(timed(spec));
+        telemetry::set_enabled(true);
+        instrumented = instrumented.min(timed(spec));
+    }
+
+    let ratio = instrumented.as_secs_f64() / baseline.as_secs_f64();
+    assert!(
+        ratio <= 1.10,
+        "telemetry overhead {:.1}% exceeds the 10% budget \
+         (instrumented {instrumented:?} vs baseline {baseline:?})",
+        (ratio - 1.0) * 100.0
+    );
+}

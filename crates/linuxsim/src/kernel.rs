@@ -240,6 +240,7 @@ impl LinuxKernel {
         // previously requested target; treat an already-passed target as
         // a no-op rather than a programming error.
         let target = target.max(self.now);
+        let entered_at = self.now;
         let clock = self.base.clock();
         let target_jiffy = clock.jiffies_at(target);
         while self.last_jiffy < target_jiffy {
@@ -271,6 +272,10 @@ impl LinuxKernel {
             self.now = target;
         }
         self.run_hrtimers(self.now);
+        telemetry::sim::add(
+            telemetry::SimCounter::SimTimeAdvancedNs,
+            self.now.as_nanos().saturating_sub(entered_at.as_nanos()),
+        );
     }
 
     /// Processes one jiffy tick: charge the tick, fire due timers, run

@@ -344,6 +344,7 @@ impl LinuxKernel {
             jitter,
             EventFlags::default(),
         );
+        telemetry::sim::add(telemetry::SimCounter::NetRetransmits, 1);
         self.notifications.push(Notify::TcpRetransmit { conn: id });
     }
 
@@ -393,6 +394,7 @@ impl LinuxKernel {
             jitter,
             EventFlags::default(),
         );
+        telemetry::sim::add(telemetry::SimCounter::NetRetransmits, 1);
         self.notifications.push(Notify::TcpRetransmit { conn: id });
     }
 }

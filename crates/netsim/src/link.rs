@@ -1,6 +1,7 @@
 //! A point-to-point link with latency, jitter and loss.
 
 use simtime::{Normal, Sample, SimDuration, SimInstant, SimRng};
+use telemetry::{sim, SimCounter, SimHist};
 
 use crate::faults::NetFault;
 
@@ -99,10 +100,16 @@ impl Link {
     /// Samples the outcome of sending one segment and awaiting its ACK:
     /// `Some(rtt)` on success, `None` when the segment or ACK was lost.
     pub fn send_segment(&self, rng: &mut SimRng) -> Option<SimDuration> {
+        // Telemetry only observes outcomes; it must never consume RNG
+        // draws, or faulted and unfaulted runs would diverge.
+        sim::add(SimCounter::NetSegmentsSent, 1);
         if self.sample_loss(rng) {
+            sim::add(SimCounter::NetSegmentsLost, 1);
             None
         } else {
-            Some(self.sample_rtt(rng))
+            let rtt = self.sample_rtt(rng);
+            sim::observe(SimHist::NetRttMicros, rtt.as_nanos() / 1_000);
+            Some(rtt)
         }
     }
 
@@ -135,10 +142,17 @@ impl Link {
     /// Samples the outcome of sending one segment at `now`: `Some(rtt)` on
     /// success, `None` when the segment or ACK was lost.
     pub fn send_segment_at(&self, now: SimInstant, rng: &mut SimRng) -> Option<SimDuration> {
+        sim::add(SimCounter::NetSegmentsSent, 1);
+        if self.fault.active_at(now) {
+            sim::add(SimCounter::NetFaultedSamples, 1);
+        }
         if self.sample_loss_at(now, rng) {
+            sim::add(SimCounter::NetSegmentsLost, 1);
             None
         } else {
-            Some(self.sample_rtt_at(now, rng))
+            let rtt = self.sample_rtt_at(now, rng);
+            sim::observe(SimHist::NetRttMicros, rtt.as_nanos() / 1_000);
+            Some(rtt)
         }
     }
 }

@@ -57,6 +57,9 @@ impl ClockFault {
     /// disabled), so the perturbation is a pure function of the fault,
     /// the RNG state and the input. The result saturates at boot.
     pub fn perturb(&self, ts: SimInstant, rng: &mut SimRng) -> SimInstant {
+        if !self.is_none() {
+            telemetry::sim::add(telemetry::SimCounter::ClockPerturbations, 1);
+        }
         let mut ns = ts.as_nanos();
         if !self.jitter.is_zero() {
             let span = self.jitter.as_nanos();
@@ -102,7 +105,10 @@ mod tests {
         let ts = SimInstant::from_nanos(1_000_000);
         for _ in 0..10_000 {
             let p = fault.perturb(ts, &mut rng).as_nanos();
-            assert!((1_000_000 - 50_000..=1_000_000 + 50_000).contains(&p), "{p}");
+            assert!(
+                (1_000_000 - 50_000..=1_000_000 + 50_000).contains(&p),
+                "{p}"
+            );
         }
     }
 

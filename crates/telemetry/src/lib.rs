@@ -1,0 +1,57 @@
+//! The observability layer of the reproduction.
+//!
+//! The paper's contribution *is* instrumentation (relayfs on Linux, ETW
+//! on Vista) — this crate instruments the instrumentation. Every metric
+//! belongs to exactly one of two planes, and the split is the central
+//! contract of the whole layer:
+//!
+//! * **Sim plane** ([`sim`]) — values derived only from virtual time and
+//!   event counts (wheel cascades, trace records, retransmits, virtual
+//!   nanoseconds advanced). These are pure functions of an experiment's
+//!   spec, recorded into a thread-local accumulator while the experiment
+//!   runs and snapshotted per run. They are **bit-identical** across
+//!   serial, parallel and cached execution, which the differential test
+//!   `tests/telemetry_determinism.rs` enforces.
+//! * **Wall plane** ([`registry`], [`span`]) — wall-clock span timings
+//!   (`std::time::Instant`) and process-lifetime counters (cache hits,
+//!   worker utilisation). These describe *this process*, legitimately
+//!   differ between runs and modes, and are explicitly excluded from all
+//!   determinism checks.
+//!
+//! Both planes are exported together by [`report::RunReport`] as JSON and
+//! Prometheus text exposition; [`json`] carries the minimal parser the
+//! run-report schema validation (and CI drift check) is built on.
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod sim;
+pub mod span;
+
+pub use hist::LogHistogram;
+pub use registry::{global, Counter, Gauge, Registry, SpanStat, WallSnapshot};
+pub use report::{stage_summary_line, ExperimentMetrics, RunReport};
+pub use sim::{SimCounter, SimGauge, SimHist, SimSnapshot};
+pub use span::{span, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether telemetry recording is enabled (default: yes).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables metric recording.
+///
+/// Disabling is the "uninstrumented" baseline the `telemetry_overhead`
+/// benchmark compares against: hot-path recording calls become a single
+/// relaxed load. Instance-backed [`Counter`]s keep counting regardless,
+/// because component getters (e.g. `RingBuffer::dropped`) read them.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}

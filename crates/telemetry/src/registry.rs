@@ -1,0 +1,350 @@
+//! The wall-plane registry: process-global counters, gauges and span
+//! statistics.
+//!
+//! Everything in here describes *this process* — how many cache hits the
+//! run saw, how long stages took, how many threads ran — and is exported
+//! under `plane="wall"`. None of it participates in determinism checks.
+//!
+//! [`Counter`] is the bridge used to promote pre-existing ad-hoc counters
+//! (`RingBuffer::dropped`, `HierarchicalWheel::cascade_moves`,
+//! `ExperimentCache::hits`): the owning component holds the handle and
+//! keeps its getter as a thin atomic load, while the registry keeps a
+//! [`Weak`] reference so the process-wide total aggregates every live
+//! instance plus everything already dropped. Short-lived instruments
+//! (benchmarks create thousands of wheels) therefore cost one retired
+//! fold each, not a leaked registry entry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::sim::{self, SimCounter};
+
+/// One named counter family: every live instance (as a weak cell with the
+/// value it started from) plus the folded total of dropped instances.
+#[derive(Default)]
+struct Family {
+    cells: Vec<(Weak<AtomicU64>, u64)>,
+    retired: u64,
+}
+
+impl Family {
+    fn total(&self) -> u64 {
+        let live: u64 = self
+            .cells
+            .iter()
+            .filter_map(|(w, base)| {
+                w.upgrade()
+                    .map(|c| c.load(Ordering::Relaxed).saturating_sub(*base))
+            })
+            .sum();
+        self.retired.saturating_add(live)
+    }
+
+    fn prune(&mut self) {
+        self.cells.retain(|(w, _)| w.strong_count() > 0);
+    }
+}
+
+/// Aggregated wall-clock statistics for one named span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total elapsed nanoseconds.
+    pub total_ns: u64,
+    /// Shortest span, in nanoseconds.
+    pub min_ns: u64,
+    /// Longest span, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean span duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+impl Default for SpanStat {
+    fn default() -> Self {
+        SpanStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+/// A frozen copy of the wall plane, taken for one run report.
+#[derive(Debug, Clone, Default)]
+pub struct WallSnapshot {
+    /// Counter families by name, aggregated live + retired.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauges by name (last-set value).
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Span statistics by name.
+    pub spans: BTreeMap<&'static str, SpanStat>,
+}
+
+/// The process-global wall-plane registry.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    families: BTreeMap<&'static str, Family>,
+    gauges: BTreeMap<&'static str, u64>,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+impl Registry {
+    /// Adds `n` to the named counter family without an instance handle.
+    /// Use this for one-off increments so the registry doesn't accumulate
+    /// a cell per call site.
+    pub fn add(&self, name: &'static str, n: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.families.entry(name).or_default().retired += n;
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn gauge_set(&self, name: &'static str, v: u64) {
+        self.inner.lock().unwrap().gauges.insert(name, v);
+    }
+
+    /// Raises the named gauge to at least `v`.
+    pub fn gauge_max(&self, name: &'static str, v: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = inner.gauges.entry(name).or_insert(0);
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
+    /// Records one completed span of `ns` nanoseconds under `name`.
+    pub fn record_span_ns(&self, name: &'static str, ns: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.spans.entry(name).or_default().record(ns);
+    }
+
+    /// The current aggregated value of one counter family.
+    pub fn counter_value(&self, name: &'static str) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.families.get(name).map_or(0, Family::total)
+    }
+
+    /// A frozen copy of every wall-plane metric.
+    pub fn wall_snapshot(&self) -> WallSnapshot {
+        let mut inner = self.inner.lock().unwrap();
+        for fam in inner.families.values_mut() {
+            fam.prune();
+        }
+        WallSnapshot {
+            counters: inner
+                .families
+                .iter()
+                .map(|(&name, fam)| (name, fam.total()))
+                .collect(),
+            gauges: inner.gauges.clone(),
+            spans: inner.spans.clone(),
+        }
+    }
+
+    fn register_cell(&self, name: &'static str, cell: &Arc<AtomicU64>, base: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let fam = inner.families.entry(name).or_default();
+        fam.prune();
+        fam.cells.push((Arc::downgrade(cell), base));
+    }
+
+    fn retire_cell(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let fam = inner.families.entry(name).or_default();
+        fam.retired = fam.retired.saturating_add(delta);
+        fam.prune();
+    }
+}
+
+/// The process-global registry instance.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+/// An instance-owned counter registered under a shared family name.
+///
+/// Components embed a `Counter` where they used to keep a bare `u64`:
+/// the instance getter stays a thin atomic load while the registry sums
+/// all instances (live and dropped) under the family name. Optionally a
+/// counter mirrors into a sim-plane [`SimCounter`] so one increment feeds
+/// both the instance getter and the deterministic per-experiment
+/// snapshot.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    cell: Arc<AtomicU64>,
+    base: u64,
+    sim: Option<SimCounter>,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero, registered under `name`.
+    pub fn new(name: &'static str) -> Self {
+        Self::with_start(name, 0, None)
+    }
+
+    /// Creates a counter that also mirrors increments into the sim plane.
+    pub fn with_sim(name: &'static str, sim: SimCounter) -> Self {
+        Self::with_start(name, 0, Some(sim))
+    }
+
+    fn with_start(name: &'static str, start: u64, sim: Option<SimCounter>) -> Self {
+        let cell = Arc::new(AtomicU64::new(start));
+        global().register_cell(name, &cell, start);
+        Counter {
+            name,
+            cell,
+            base: start,
+            sim,
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+        if let Some(simc) = self.sim {
+            sim::add(simc, n);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// This instance's value (not the family total).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// The family name this instance reports under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// A new instance starting at this one's current value.
+    ///
+    /// This is how `Clone`-able components (e.g. `RingBuffer`) preserve
+    /// their historical value-snapshot clone semantics: the copy's getter
+    /// reads the same number the original showed, while the registry only
+    /// counts the copy's *further* increments (its starting value is its
+    /// registration base), so family totals are never double-counted.
+    pub fn detached_copy(&self) -> Self {
+        Self::with_start(self.name, self.get(), self.sim)
+    }
+}
+
+impl Drop for Counter {
+    fn drop(&mut self) {
+        let delta = self.get().saturating_sub(self.base);
+        global().retire_cell(self.name, delta);
+    }
+}
+
+/// A named wall-plane gauge handle.
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge {
+    name: &'static str,
+}
+
+impl Gauge {
+    /// Creates a handle for the named gauge.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { name }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        global().gauge_set(self.name, v);
+    }
+
+    /// Raises the gauge to at least `v`.
+    pub fn max(&self, v: u64) {
+        global().gauge_max(self.name, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_sums_live_and_retired() {
+        let a = Counter::new("test_family_a_total");
+        a.add(5);
+        {
+            let b = Counter::new("test_family_a_total");
+            b.add(7);
+            assert_eq!(global().counter_value("test_family_a_total"), 12);
+        }
+        // b dropped: its 7 folds into the retired total.
+        assert_eq!(global().counter_value("test_family_a_total"), 12);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn detached_copy_keeps_snapshot_but_not_double_count() {
+        let orig = Counter::new("test_family_b_total");
+        orig.add(10);
+        let copy = orig.detached_copy();
+        assert_eq!(copy.get(), 10);
+        copy.add(2);
+        assert_eq!(copy.get(), 12);
+        assert_eq!(orig.get(), 10);
+        // Family total: 10 from orig + 2 new from copy.
+        assert_eq!(global().counter_value("test_family_b_total"), 12);
+    }
+
+    #[test]
+    fn one_off_add_and_gauges() {
+        global().add("test_loose_total", 3);
+        global().add("test_loose_total", 4);
+        assert_eq!(global().counter_value("test_loose_total"), 7);
+        global().gauge_set("test_gauge", 9);
+        global().gauge_max("test_gauge", 4);
+        global().gauge_max("test_gauge", 11);
+        let snap = global().wall_snapshot();
+        assert_eq!(snap.gauges.get("test_gauge"), Some(&11));
+        assert_eq!(snap.counters.get("test_loose_total"), Some(&7));
+    }
+
+    #[test]
+    fn span_stats_accumulate() {
+        global().record_span_ns("test.span", 100);
+        global().record_span_ns("test.span", 300);
+        let snap = global().wall_snapshot();
+        let s = snap.spans.get("test.span").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 400);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 300);
+        assert!((s.mean_ns() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,445 @@
+//! Run reports: the JSON + Prometheus view over both planes.
+//!
+//! A [`RunReport`] freezes one `repro_all` invocation: the sim-plane
+//! snapshot of every experiment (plus their merged totals) and a wall
+//! snapshot of the process registry. `to_json` hand-rolls real JSON (the
+//! vendored `serde_json` stand-in only renders Debug output) and
+//! `to_prometheus` renders the text exposition format with a
+//! `timerstudy_` prefix and a `plane` label separating deterministic
+//! series from wall-clock ones.
+//!
+//! Schema contract (version 1): the `sim` section is a pure function of
+//! the experiment specs — CI parses two independent runs and asserts the
+//! canonical forms of their `sim` sections are byte-identical. The
+//! `wall` section carries timings and process counters and is never
+//! compared.
+
+use std::time::Duration;
+
+use crate::hist::LogHistogram;
+use crate::json::{escape, Value};
+use crate::registry::{global, WallSnapshot};
+use crate::sim::{SimCounter, SimGauge, SimHist, SimSnapshot};
+
+/// Current run-report schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The sim-plane snapshot of one experiment, labelled for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentMetrics {
+    /// Human-readable experiment label (os/workload/duration/seed).
+    pub label: String,
+    /// The per-experiment sim-plane snapshot.
+    pub sim: SimSnapshot,
+}
+
+/// A frozen report for one complete run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Execution mode: `"serial"`, `"parallel"` or `"faulted"`.
+    pub mode: String,
+    /// Per-experiment virtual duration, in seconds.
+    pub duration_secs: u64,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total wall time of the run, in seconds.
+    pub wall_seconds: f64,
+    /// One entry per experiment, in spec order.
+    pub experiments: Vec<ExperimentMetrics>,
+    /// All experiment snapshots merged.
+    pub sim_totals: SimSnapshot,
+    /// The wall-plane snapshot.
+    pub wall: WallSnapshot,
+}
+
+impl RunReport {
+    /// Builds a report from per-experiment metrics, merging the sim
+    /// totals and freezing the global wall-plane registry.
+    pub fn new(
+        mode: &str,
+        duration_secs: u64,
+        seed: u64,
+        threads: usize,
+        wall: Duration,
+        experiments: Vec<ExperimentMetrics>,
+    ) -> Self {
+        let mut sim_totals = SimSnapshot::empty();
+        for exp in &experiments {
+            sim_totals.merge(&exp.sim);
+        }
+        RunReport {
+            mode: mode.to_string(),
+            duration_secs,
+            seed,
+            threads,
+            wall_seconds: wall.as_secs_f64(),
+            experiments,
+            sim_totals,
+            wall: global().wall_snapshot(),
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON (schema version 1).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"mode\": {},\n", escape(&self.mode)));
+        out.push_str(&format!("  \"duration_secs\": {},\n", self.duration_secs));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"wall_seconds\": {:.6},\n", self.wall_seconds));
+        out.push_str("  \"sim\": {\n    \"experiments\": [\n");
+        for (i, exp) in self.experiments.iter().enumerate() {
+            out.push_str("      {\"label\": ");
+            out.push_str(&escape(&exp.label));
+            out.push_str(", ");
+            write_sim_body(&mut out, &exp.sim);
+            out.push('}');
+            if i + 1 < self.experiments.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("    ],\n    \"totals\": {");
+        write_sim_body(&mut out, &self.sim_totals);
+        out.push_str("}\n  },\n");
+        out.push_str("  \"wall\": {\n    \"counters\": {");
+        for (i, (name, value)) in self.wall.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {value}", escape(name)));
+        }
+        out.push_str("},\n    \"gauges\": {");
+        for (i, (name, value)) in self.wall.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {value}", escape(name)));
+        }
+        out.push_str("},\n    \"spans\": {");
+        for (i, (name, stat)) in self.wall.spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{}: {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                escape(name),
+                stat.count,
+                stat.total_ns,
+                if stat.count == 0 { 0 } else { stat.min_ns },
+                stat.max_ns
+            ));
+        }
+        out.push_str("}\n  }\n}\n");
+        out
+    }
+
+    /// Renders both planes in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "# Run report: mode={} duration={}s seed={} threads={}\n",
+            self.mode, self.duration_secs, self.seed, self.threads
+        ));
+        for c in SimCounter::ALL {
+            let name = format!("timerstudy_{}", c.name());
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!(
+                "{name}{{plane=\"sim\"}} {}\n",
+                self.sim_totals.counter(c)
+            ));
+        }
+        for g in SimGauge::ALL {
+            let name = format!("timerstudy_{}", g.name());
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!(
+                "{name}{{plane=\"sim\"}} {}\n",
+                self.sim_totals.gauge(g)
+            ));
+        }
+        for h in SimHist::ALL {
+            let name = format!("timerstudy_{}", h.name());
+            let hist = self.sim_totals.hist(h);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (index, count) in hist.nonzero() {
+                cumulative += count;
+                let (_, hi) = LogHistogram::bucket_bounds(index);
+                out.push_str(&format!(
+                    "{name}_bucket{{plane=\"sim\",le=\"{hi}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{plane=\"sim\",le=\"+Inf\"}} {}\n",
+                hist.count()
+            ));
+            out.push_str(&format!("{name}_sum{{plane=\"sim\"}} {}\n", hist.sum()));
+            out.push_str(&format!("{name}_count{{plane=\"sim\"}} {}\n", hist.count()));
+        }
+        for (name, value) in &self.wall.counters {
+            let full = format!("timerstudy_{name}");
+            out.push_str(&format!("# TYPE {full} counter\n"));
+            out.push_str(&format!("{full}{{plane=\"wall\"}} {value}\n"));
+        }
+        for (name, value) in &self.wall.gauges {
+            let full = format!("timerstudy_{name}");
+            out.push_str(&format!("# TYPE {full} gauge\n"));
+            out.push_str(&format!("{full}{{plane=\"wall\"}} {value}\n"));
+        }
+        out.push_str("# TYPE timerstudy_span_total_ns counter\n");
+        for (name, stat) in &self.wall.spans {
+            out.push_str(&format!(
+                "timerstudy_span_count{{plane=\"wall\",span=\"{name}\"}} {}\n",
+                stat.count
+            ));
+            out.push_str(&format!(
+                "timerstudy_span_total_ns{{plane=\"wall\",span=\"{name}\"}} {}\n",
+                stat.total_ns
+            ));
+            out.push_str(&format!(
+                "timerstudy_span_max_ns{{plane=\"wall\",span=\"{name}\"}} {}\n",
+                stat.max_ns
+            ));
+        }
+        out.push_str(&format!(
+            "timerstudy_run_wall_seconds{{plane=\"wall\"}} {:.6}\n",
+            self.wall_seconds
+        ));
+        out
+    }
+}
+
+fn write_sim_body(out: &mut String, sim: &SimSnapshot) {
+    out.push_str("\"counters\": {");
+    for (i, c) in SimCounter::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", escape(c.name()), sim.counter(*c)));
+    }
+    out.push_str("}, \"gauges\": {");
+    for (i, g) in SimGauge::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", escape(g.name()), sim.gauge(*g)));
+    }
+    out.push_str("}, \"hists\": {");
+    for (i, h) in SimHist::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let hist = sim.hist(*h);
+        out.push_str(&format!(
+            "{}: {{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+            escape(h.name()),
+            hist.count(),
+            hist.sum()
+        ));
+        for (j, (index, count)) in hist.nonzero().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{index}\": {count}"));
+        }
+        out.push_str("}}");
+    }
+    out.push('}');
+}
+
+/// Validates a parsed run report against schema version 1.
+pub fn validate_value(v: &Value) -> Result<(), String> {
+    let version = v
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    v.get("mode")
+        .and_then(Value::as_str)
+        .ok_or("missing mode")?;
+    for key in ["duration_secs", "seed"] {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing {key}"))?;
+    }
+    v.get("threads")
+        .and_then(Value::as_u64)
+        .ok_or("missing threads")?;
+    v.get("wall_seconds")
+        .and_then(Value::as_f64)
+        .ok_or("missing wall_seconds")?;
+    let sim = v.get("sim").ok_or("missing sim section")?;
+    let experiments = sim
+        .get("experiments")
+        .and_then(Value::as_arr)
+        .ok_or("missing sim.experiments")?;
+    for (i, exp) in experiments.iter().enumerate() {
+        exp.get("label")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("experiment {i} missing label"))?;
+        validate_sim_body(exp).map_err(|e| format!("experiment {i}: {e}"))?;
+    }
+    let totals = sim.get("totals").ok_or("missing sim.totals")?;
+    validate_sim_body(totals).map_err(|e| format!("sim.totals: {e}"))?;
+    let wall = v.get("wall").ok_or("missing wall section")?;
+    for key in ["counters", "gauges", "spans"] {
+        wall.get(key)
+            .and_then(Value::as_obj)
+            .ok_or_else(|| format!("missing wall.{key}"))?;
+    }
+    Ok(())
+}
+
+fn validate_sim_body(v: &Value) -> Result<(), String> {
+    let counters = v
+        .get("counters")
+        .and_then(Value::as_obj)
+        .ok_or("missing counters")?;
+    for c in SimCounter::ALL {
+        if !counters
+            .iter()
+            .any(|(k, v)| k == c.name() && v.as_u64().is_some())
+        {
+            return Err(format!("missing or non-integer counter {}", c.name()));
+        }
+    }
+    let gauges = v
+        .get("gauges")
+        .and_then(Value::as_obj)
+        .ok_or("missing gauges")?;
+    for g in SimGauge::ALL {
+        if !gauges
+            .iter()
+            .any(|(k, v)| k == g.name() && v.as_u64().is_some())
+        {
+            return Err(format!("missing or non-integer gauge {}", g.name()));
+        }
+    }
+    let hists = v
+        .get("hists")
+        .and_then(Value::as_obj)
+        .ok_or("missing hists")?;
+    for h in SimHist::ALL {
+        let hist = hists
+            .iter()
+            .find(|(k, _)| k == h.name())
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing hist {}", h.name()))?;
+        for key in ["count", "sum"] {
+            hist.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("hist {} missing {key}", h.name()))?;
+        }
+        hist.get("buckets")
+            .and_then(Value::as_obj)
+            .ok_or_else(|| format!("hist {} missing buckets", h.name()))?;
+    }
+    Ok(())
+}
+
+/// The canonical form of a report's `sim` section — the byte string two
+/// deterministic runs must agree on.
+pub fn sim_section_canonical(v: &Value) -> Result<String, String> {
+    Ok(v.get("sim").ok_or("missing sim section")?.canonical())
+}
+
+/// Formats the one-line per-stage summary the figure binaries print to
+/// stderr: `[telemetry] stage=<stage> k=v k=v ...`.
+pub fn stage_summary_line(stage: &str, fields: &[(&str, String)]) -> String {
+    let mut line = format!("[telemetry] stage={stage}");
+    for (key, value) in fields {
+        line.push_str(&format!(" {key}={value}"));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::sim::{self, SimCounter, SimHist};
+    use std::time::Duration;
+
+    fn sample_report() -> RunReport {
+        let ((), snap) = sim::scoped(|| {
+            sim::add(SimCounter::WheelInserts, 12);
+            sim::add(SimCounter::TraceRecords, 100);
+            sim::observe(SimHist::NetRttMicros, 130_000);
+        });
+        RunReport::new(
+            "serial",
+            30,
+            42,
+            1,
+            Duration::from_millis(1500),
+            vec![ExperimentMetrics {
+                label: "linux idle 30s seed42".into(),
+                sim: snap,
+            }],
+        )
+    }
+
+    #[test]
+    fn json_roundtrips_and_validates() {
+        let report = sample_report();
+        let text = report.to_json();
+        let parsed = json::parse(&text).expect("report JSON must parse");
+        validate_value(&parsed).expect("report must match schema");
+        assert_eq!(parsed.get("mode").and_then(Value::as_str), Some("serial"));
+        let totals = parsed.get("sim").unwrap().get("totals").unwrap();
+        let counters = totals.get("counters").unwrap();
+        assert_eq!(
+            counters.get("wheel_inserts_total").and_then(Value::as_u64),
+            Some(12)
+        );
+    }
+
+    #[test]
+    fn sim_canonical_ignores_wall_plane() {
+        let report = sample_report();
+        let a = json::parse(&report.to_json()).unwrap();
+        let mut other = report.clone();
+        other.wall_seconds = 999.0;
+        other.threads = 16;
+        let b = json::parse(&other.to_json()).unwrap();
+        assert_eq!(
+            sim_section_canonical(&a).unwrap(),
+            sim_section_canonical(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn prometheus_has_both_planes() {
+        let report = sample_report();
+        let prom = report.to_prometheus();
+        assert!(prom.contains("timerstudy_wheel_inserts_total{plane=\"sim\"} 12"));
+        assert!(prom.contains("plane=\"wall\""));
+        assert!(prom.contains("timerstudy_net_rtt_us_bucket{plane=\"sim\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn validation_rejects_missing_counter() {
+        let report = sample_report();
+        let text = report.to_json().replace("wheel_inserts_total", "bogus");
+        let parsed = json::parse(&text).unwrap();
+        assert!(validate_value(&parsed).is_err());
+    }
+
+    #[test]
+    fn summary_line_format() {
+        let line = stage_summary_line(
+            "assemble",
+            &[
+                ("artifacts", "14".to_string()),
+                ("wall_ms", "3.2".to_string()),
+            ],
+        );
+        assert_eq!(line, "[telemetry] stage=assemble artifacts=14 wall_ms=3.2");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the log-bucket layout (ISSUE 3 satellite):
+//! boundaries are strictly monotone, adjacent buckets share an edge (no
+//! gaps), and every `u64` lands in exactly one bucket.
+
+use proptest::prelude::*;
+use telemetry::hist::{LogHistogram, BUCKETS};
+
+/// Values spread across the full u64 range, biased toward boundaries
+/// (powers of two and their neighbours) where off-by-one bugs live.
+fn boundary_biased() -> BoxedStrategy<u64> {
+    prop_oneof![
+        any::<u64>(),
+        (0u32..64).prop_map(|shift| 1u64 << shift),
+        (1u32..64).prop_map(|shift| (1u64 << shift) - 1),
+        (1u32..64).prop_map(|shift| (1u64 << shift) + 1),
+        Just(0u64),
+        Just(u64::MAX),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(v in boundary_biased()) {
+        let owner = LogHistogram::bucket_index(v);
+        prop_assert!(owner < BUCKETS);
+        let mut holders = 0;
+        for i in 0..BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_bounds(i);
+            let contains = if i == BUCKETS - 1 {
+                v >= lo // last bucket is closed above at u64::MAX
+            } else {
+                v >= lo && v < hi
+            };
+            if contains {
+                holders += 1;
+                prop_assert_eq!(i, owner, "bounds disagree with bucket_index");
+            }
+        }
+        prop_assert_eq!(holders, 1, "value {} held by {} buckets", v, holders);
+    }
+
+    #[test]
+    fn recording_increments_exactly_the_owning_bucket(v in boundary_biased()) {
+        let mut h = LogHistogram::new();
+        h.record(v);
+        let owner = LogHistogram::bucket_index(v);
+        for (i, &count) in h.buckets().iter().enumerate() {
+            prop_assert_eq!(count, u64::from(i == owner));
+        }
+        prop_assert_eq!(h.count(), 1);
+        prop_assert_eq!(h.sum(), v);
+    }
+
+    #[test]
+    fn merge_is_sum_of_parts(
+        xs in proptest::collection::vec(boundary_biased(), 0..40),
+        ys in proptest::collection::vec(boundary_biased(), 0..40),
+    ) {
+        let mut a = LogHistogram::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        let mut b = LogHistogram::new();
+        for &y in &ys {
+            b.record(y);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        let mut direct = LogHistogram::new();
+        for &v in xs.iter().chain(ys.iter()) {
+            direct.record(v);
+        }
+        prop_assert_eq!(merged, direct);
+    }
+}
+
+#[test]
+fn bounds_are_monotone_without_gaps() {
+    let mut previous_hi = 0u64;
+    for i in 0..BUCKETS {
+        let (lo, hi) = LogHistogram::bucket_bounds(i);
+        assert!(lo < hi, "bucket {i} has empty range [{lo}, {hi})");
+        if i > 0 {
+            assert_eq!(lo, previous_hi, "gap or overlap before bucket {i}");
+        }
+        previous_hi = hi;
+    }
+    assert_eq!(
+        previous_hi,
+        u64::MAX,
+        "layout must cover the full u64 range"
+    );
+}

@@ -124,10 +124,12 @@ impl TraceSink for FaultSink {
             if self.remaining_burst > 0 {
                 self.remaining_burst -= 1;
                 self.dropped += 1;
+                telemetry::sim::add(telemetry::SimCounter::TraceFaultDrops, 1);
                 return;
             }
             if self.rng.chance(self.drops.probability()) {
                 self.dropped += 1;
+                telemetry::sim::add(telemetry::SimCounter::TraceFaultDrops, 1);
                 self.remaining_burst = u32::from(self.drops.burst_len.max(1)) - 1;
                 return;
             }

@@ -226,6 +226,7 @@ impl TraceLog {
     pub fn log(&mut self, event: Event) {
         self.counts.absorb(&event);
         self.records_logged += 1;
+        telemetry::sim::add(telemetry::SimCounter::TraceRecords, 1);
         self.sink.record(&event);
     }
 

@@ -8,13 +8,29 @@
 //! trace is complete.
 
 use crate::codec::RECORD_SIZE;
+use telemetry::{sim, Counter, SimCounter, SimGauge};
 
 /// A bounded append-only record buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RingBuffer {
     data: Vec<u8>,
     capacity: usize,
-    dropped: u64,
+    /// Telemetry-backed drop counter: the instance getter stays a thin
+    /// read while the registry aggregates every ring under
+    /// `trace_ring_dropped_total`.
+    dropped: Counter,
+}
+
+impl Clone for RingBuffer {
+    fn clone(&self) -> Self {
+        // Preserve value-snapshot clone semantics: the copy's `dropped()`
+        // shows the same number, without double-counting in the registry.
+        RingBuffer {
+            data: self.data.clone(),
+            capacity: self.capacity,
+            dropped: self.dropped.detached_copy(),
+        }
+    }
 }
 
 impl RingBuffer {
@@ -33,7 +49,7 @@ impl RingBuffer {
         RingBuffer {
             data: Vec::new(),
             capacity,
-            dropped: 0,
+            dropped: Counter::with_sim("trace_ring_dropped_total", SimCounter::TraceRingDrops),
         }
     }
 
@@ -51,10 +67,12 @@ impl RingBuffer {
     pub fn push_record(&mut self, record: &[u8]) -> bool {
         assert_eq!(record.len(), RECORD_SIZE, "record must be fixed size");
         if self.data.len() + RECORD_SIZE > self.capacity {
-            self.dropped += 1;
+            self.dropped.inc();
             return false;
         }
         self.data.extend_from_slice(record);
+        sim::add(SimCounter::TraceRingBytes, RECORD_SIZE as u64);
+        sim::gauge_max(SimGauge::RingBytesHigh, self.data.len() as u64);
         true
     }
 
@@ -65,7 +83,7 @@ impl RingBuffer {
 
     /// Number of records dropped because the buffer was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.dropped.get()
     }
 
     /// Bytes currently stored.

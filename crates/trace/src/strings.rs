@@ -38,6 +38,10 @@ impl StringTable {
         let id = self.by_id.len() as OriginId;
         self.by_id.push(name.to_owned());
         self.by_name.insert(name.to_owned(), id);
+        telemetry::sim::gauge_max(
+            telemetry::SimGauge::StringTableSize,
+            self.by_id.len() as u64,
+        );
         id
     }
 

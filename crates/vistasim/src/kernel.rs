@@ -239,6 +239,7 @@ impl VistaKernel {
         // previously requested target; treat an already-passed target as
         // a no-op rather than a programming error.
         let target = target.max(self.now);
+        let entered_at = self.now;
         while self.next_interrupt <= target {
             let at = self.next_interrupt;
             self.now = at;
@@ -252,6 +253,10 @@ impl VistaKernel {
         if target > self.now {
             self.now = target;
         }
+        telemetry::sim::add(
+            telemetry::SimCounter::SimTimeAdvancedNs,
+            self.now.as_nanos().saturating_sub(entered_at.as_nanos()),
+        );
     }
 
     /// Runs expiry DPCs for fired timers, in queue order, with per-DPC

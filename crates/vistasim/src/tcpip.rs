@@ -246,6 +246,7 @@ impl VistaKernel {
                         c.rto = c.rto.mul_f64(2.0).min(SimDuration::from_secs(120));
                         let rto = c.rto;
                         self.vtcp_arm(conn, EntryKind::Retransmit, rto);
+                        telemetry::sim::add(telemetry::SimCounter::NetRetransmits, 1);
                         self.notifications
                             .push(VistaNotify::VtcpRetransmit { conn });
                     }

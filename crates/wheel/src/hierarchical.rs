@@ -15,6 +15,7 @@
 //! cascades do bursty work — both measured in the `wheel_ops` benchmark.
 
 use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
+use telemetry::{sim, Counter, SimCounter, SimGauge, SimHist};
 
 /// Bits of the base-level wheel (256 slots of one tick each).
 const TVR_BITS: u32 = 8;
@@ -48,7 +49,9 @@ pub struct HierarchicalWheel {
     /// The last tick fully processed.
     current: Tick,
     /// Cumulative number of entries moved by cascades (for benchmarks).
-    cascade_moves: u64,
+    /// Telemetry-backed: the instance getter reads this handle while the
+    /// registry aggregates all wheels under `wheel_cascade_moves_total`.
+    cascade_moves: Counter,
 }
 
 impl Default for HierarchicalWheel {
@@ -66,13 +69,16 @@ impl HierarchicalWheel {
             active: ActiveSet::new(),
             gen_counter: 0,
             current: 0,
-            cascade_moves: 0,
+            cascade_moves: Counter::with_sim(
+                "wheel_cascade_moves_total",
+                SimCounter::WheelCascadeMoves,
+            ),
         }
     }
 
     /// Total entries moved by cascade operations so far.
     pub fn cascade_moves(&self) -> u64 {
-        self.cascade_moves
+        self.cascade_moves.get()
     }
 
     /// Inserts an entry into the level appropriate for its expiry.
@@ -123,14 +129,22 @@ impl HierarchicalWheel {
     /// revolution of this level just completed).
     fn cascade(&mut self, level: usize, index: usize) -> usize {
         let entries = std::mem::take(&mut self.tvn[level][index]);
+        let drained = entries.len();
+        let mut moved = 0u64;
         for slot in entries {
             // Drop entries whose generation is stale (cancelled/moved).
             if let Some(entry) = self.active.get(slot.id) {
                 if entry.generation == slot.generation {
-                    self.cascade_moves += 1;
+                    moved += 1;
                     self.internal_add(slot.id, slot.generation, entry.expires);
                 }
             }
+        }
+        if moved > 0 {
+            self.cascade_moves.add(moved);
+        }
+        if drained > 0 {
+            sim::observe(SimHist::WheelCascadeBatch, moved);
         }
         index
     }
@@ -153,10 +167,15 @@ impl HierarchicalWheel {
         }
         self.current = tick;
         let entries = std::mem::take(&mut self.tv1[index]);
+        let mut fired = 0u64;
         for slot in entries {
             if let Some(expires) = self.active.take_if_live(slot.id, slot.generation) {
+                fired += 1;
                 fire(slot.id, expires);
             }
+        }
+        if fired > 0 {
+            sim::add(SimCounter::WheelExpirations, fired);
         }
     }
 }
@@ -167,12 +186,18 @@ impl TimerQueue for HierarchicalWheel {
         let generation = self.active.arm(id, expires, &mut gen_counter);
         self.gen_counter = gen_counter;
         self.internal_add(id, generation, expires);
+        sim::add(SimCounter::WheelInserts, 1);
+        sim::gauge_max(SimGauge::WheelPendingHigh, self.active.len() as u64);
     }
 
     fn cancel(&mut self, id: TimerId) -> bool {
         // Lazy deletion: the slot entry stays behind but its generation is
         // now unreachable, so it is skipped (and dropped) when visited.
-        self.active.disarm(id)
+        let cancelled = self.active.disarm(id);
+        if cancelled {
+            sim::add(SimCounter::WheelCancels, 1);
+        }
+        cancelled
     }
 
     fn is_pending(&self, id: TimerId) -> bool {
