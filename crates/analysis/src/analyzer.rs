@@ -116,6 +116,10 @@ pub struct TraceAnalyzer {
     scatter: ScatterBuilder,
     rates: RateSeries,
     provenance: ProvenanceTracker,
+    /// Records the trace layer decoded unsuccessfully before this
+    /// analyzer ever saw them (lossy-merge accounting), folded into the
+    /// summary's lost-record rows.
+    decode_lost: u64,
 }
 
 impl std::fmt::Debug for TraceAnalyzer {
@@ -145,8 +149,16 @@ impl TraceAnalyzer {
             scatter: ScatterBuilder::new(),
             rates: RateSeries::new(cfg.rate_groups.clone()),
             provenance: ProvenanceTracker::new(),
+            decode_lost: 0,
             cfg,
         }
+    }
+
+    /// Accounts `n` records the trace layer could not decode (e.g. a
+    /// [`trace::MergeStats::lost_records`] total from the lossy per-CPU
+    /// merge). They surface as [`TraceSummary::decode_lost`].
+    pub fn note_decode_lost(&mut self, n: u64) {
+        self.decode_lost += n;
     }
 
     /// Feeds one event through every component.
@@ -181,6 +193,11 @@ impl TraceAnalyzer {
             self.lifecycle.peak_concurrency() as u64,
         );
         summary.orphan_ends = self.lifecycle.orphan_ends();
+        summary.decode_lost = self.decode_lost;
+        summary.out_of_order_sets = self.countdown.out_of_order_sets();
+        // The main classifier only: the origin classifier sees the same
+        // samples again and would double-count.
+        summary.anomalous_rearms = self.classifier.anomalous_rearms();
         let origin_classifier = &self.origin_classifier;
         let provenance = self.provenance.rows(
             1.0,

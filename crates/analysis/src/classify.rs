@@ -89,6 +89,9 @@ struct KeyState {
     /// signature) vs. after a longer gap (delay signature).
     immediate_rearms: u64,
     gap_rearms: u64,
+    /// Re-sets stamped *before* the previous episode's recorded end —
+    /// clock skew or reordering, excluded from the periodic/delay vote.
+    anomalous_rearms: u64,
     /// Cancels that happened early in the timer's life (< 50 % of value).
     early_cancels: u64,
     /// End of the previous episode, to measure re-arm gaps.
@@ -147,11 +150,16 @@ impl Classifier {
         if let Some(b) = bucket {
             *state.value_counts.entry(b).or_insert(0) += 1;
         }
-        // Gap between the previous episode's end and this set.
+        // Gap between the previous episode's end and this set. A set
+        // stamped before the recorded end used to clamp to gap 0 via
+        // saturating_sub and masquerade as an immediate (periodic)
+        // re-arm; such negative gaps are anomalies, not votes.
         if let Some((end_ns, prev_outcome)) = state.last_end_ns {
             if prev_outcome == Outcome::Expired {
-                let gap = sample.set_ts.as_nanos().saturating_sub(end_ns);
-                if gap <= tol_ns {
+                let set_ns = sample.set_ts.as_nanos();
+                if set_ns < end_ns {
+                    state.anomalous_rearms += 1;
+                } else if set_ns - end_ns <= tol_ns {
                     state.immediate_rearms += 1;
                 } else {
                     state.gap_rearms += 1;
@@ -226,6 +234,12 @@ impl Classifier {
     /// Number of clusters observed.
     pub fn cluster_count(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Total re-sets across all clusters whose timestamp preceded the
+    /// previous episode's recorded end (clock skew / reordering).
+    pub fn anomalous_rearms(&self) -> u64 {
+        self.keys.values().map(|s| s.anomalous_rearms).sum()
     }
 }
 
@@ -321,6 +335,23 @@ mod tests {
             );
         }
         assert_eq!(c.class_of(KEY), Some(PatternClass::Deferred));
+    }
+
+    #[test]
+    fn re_set_before_recorded_end_is_not_periodic() {
+        let mut c = Classifier::new(TOL);
+        // Every episode "ends" 50 ms *after* the next set's timestamp —
+        // a re-set-before-expiry pair as seen under clock skew. The old
+        // saturating_sub clamp scored these as immediate re-arms and
+        // called the timer Periodic.
+        for i in 0..10u64 {
+            c.push(
+                KEY,
+                &sample(i * 1000, i * 1000 + 1050, 1000, Outcome::Expired),
+            );
+        }
+        assert_eq!(c.class_of(KEY), Some(PatternClass::Delay));
+        assert_eq!(c.anomalous_rearms(), 9);
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct CountdownDetector {
     dot_pids: Vec<Pid>,
     dots: Vec<Dot>,
     max_dots: usize,
+    /// Sets whose timestamp was not after the previous set on the same
+    /// timer (backwards or duplicated clock). Such a pair is excluded
+    /// from countdown matching rather than scored as "zero elapsed".
+    out_of_order_sets: u64,
 }
 
 impl CountdownDetector {
@@ -70,6 +74,7 @@ impl CountdownDetector {
             dot_pids,
             dots: Vec::new(),
             max_dots: 200_000,
+            out_of_order_sets: 0,
         }
     }
 
@@ -91,18 +96,26 @@ impl CountdownDetector {
         let now_ns = event.ts.as_nanos();
         let value_ns = value.as_nanos();
         if let Some(&(prev_ts, prev_value)) = self.last_set.get(&event.timer) {
-            let elapsed = now_ns.saturating_sub(prev_ts);
-            let expected_remaining = prev_value.saturating_sub(elapsed);
-            // Slack: the classifier tolerance, one extra tolerance-width
-            // for the kernel's round-up-plus-guard-jiffy conversion (the
-            // written-back remainder is up to a tick above the ideal),
-            // and 2 % of the elapsed time.
-            let tol = 2 * self.tolerance.as_nanos() + elapsed / 50;
-            if value_ns <= prev_value + 2 * self.tolerance.as_nanos()
-                && expected_remaining.abs_diff(value_ns) <= tol
-                && prev_value > 0
-            {
-                stats.countdown_sets += 1;
+            if now_ns <= prev_ts {
+                // A backwards or duplicated timestamp used to collapse to
+                // "zero elapsed" via saturating_sub, so any re-issue of a
+                // similar value scored as a countdown hit. Break the chain
+                // and account the anomaly instead.
+                self.out_of_order_sets += 1;
+            } else {
+                let elapsed = now_ns - prev_ts;
+                let expected_remaining = prev_value.saturating_sub(elapsed);
+                // Slack: the classifier tolerance, one extra tolerance-width
+                // for the kernel's round-up-plus-guard-jiffy conversion (the
+                // written-back remainder is up to a tick above the ideal),
+                // and 2 % of the elapsed time.
+                let tol = 2 * self.tolerance.as_nanos() + elapsed / 50;
+                if value_ns <= prev_value + 2 * self.tolerance.as_nanos()
+                    && expected_remaining.abs_diff(value_ns) <= tol
+                    && prev_value > 0
+                {
+                    stats.countdown_sets += 1;
+                }
             }
         }
         self.last_set.insert(event.timer, (now_ns, value_ns));
@@ -131,6 +144,12 @@ impl CountdownDetector {
     /// The Figure 4 dot series.
     pub fn dots(&self) -> &[Dot] {
         &self.dots
+    }
+
+    /// Sets observed at or before the previous set's timestamp on the
+    /// same timer — clock anomalies excluded from countdown matching.
+    pub fn out_of_order_sets(&self) -> u64 {
+        self.out_of_order_sets
     }
 
     /// Aggregate detector-vs-ground-truth agreement over all timers with
@@ -206,6 +225,35 @@ mod tests {
         assert_eq!(d.dots().len(), 2);
         assert!((d.dots()[0].value - 600.0).abs() < 1e-9);
         assert!((d.dots()[1].t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_sets_break_the_chain() {
+        let mut d = CountdownDetector::new(SimDuration::from_millis(2), vec![]);
+        // A reordered trace: the "later" set carries an earlier timestamp
+        // but a countdown-shaped value. The old double-saturating_sub path
+        // treated this as zero elapsed and scored it as a countdown hit.
+        d.push(&set(7, 1000, 500));
+        d.push(&set(7, 400, 500)); // backwards
+        let s = d.stats(7).unwrap();
+        assert_eq!(s.sets, 2);
+        assert_eq!(s.countdown_sets, 0);
+        assert_eq!(d.out_of_order_sets(), 1);
+    }
+
+    #[test]
+    fn duplicated_timestamps_break_the_chain() {
+        let mut d = CountdownDetector::new(SimDuration::from_millis(2), vec![]);
+        d.push(&set(8, 100, 500));
+        d.push(&set(8, 100, 500)); // duplicate ts, same value
+        d.push(&set(8, 100, 500));
+        let s = d.stats(8).unwrap();
+        assert_eq!(s.countdown_sets, 0);
+        assert_eq!(d.out_of_order_sets(), 2);
+        // The chain resumes once time moves forward again.
+        d.push(&set(8, 300, 300));
+        assert_eq!(d.stats(8).unwrap().countdown_sets, 1);
+        assert_eq!(d.out_of_order_sets(), 2);
     }
 
     #[test]

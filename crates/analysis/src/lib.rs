@@ -23,6 +23,9 @@
 //!   data of Figures 8–11 (250 % cut-off, immediate-expiry exclusion);
 //! * [`provenance`] — Table 3: which origin sets which frequent value,
 //!   and how that timer classifies.
+//! * [`visitor`] — the incremental API: [`EventVisitor`]/`SampleVisitor`
+//!   name the fold every analyzer already is, and [`drive_chunks`] feeds
+//!   one bounded chunk at a time while reporting the peak resident count.
 //!
 //! [`TraceAnalyzer`] composes all of them behind one sink.
 
@@ -34,7 +37,9 @@ pub mod provenance;
 pub mod scatter;
 pub mod summary;
 pub mod values;
+pub mod visitor;
 
 pub use analyzer::{AnalyzerConfig, ClusterMode, Report, TraceAnalyzer};
 pub use classify::{PatternClass, PatternMix};
 pub use lifecycle::{Outcome, Sample};
+pub use visitor::{drive_chunks, EventVisitor, SampleVisitor};

@@ -30,6 +30,17 @@ pub struct TraceSummary {
     /// End events whose opening `Set` was lost — the lifecycle tracker's
     /// evidence of trace incompleteness. Zero on a complete trace.
     pub orphan_ends: u64,
+    /// Records present in the rings but undecodable (scribbled records,
+    /// torn tails) when read through the lossy merge. Zero on a healthy
+    /// trace.
+    pub decode_lost: u64,
+    /// Countdown-chain breaks: sets stamped at or before the previous set
+    /// on the same timer (backwards/duplicated clock). Zero on a
+    /// monotonic trace.
+    pub out_of_order_sets: u64,
+    /// Re-sets stamped before the previous episode's recorded end —
+    /// excluded from the periodic/delay vote. Zero on a monotonic trace.
+    pub anomalous_rearms: u64,
 }
 
 impl TraceSummary {
@@ -46,6 +57,9 @@ impl TraceSummary {
             canceled: counts.canceled,
             dropped_records: 0,
             orphan_ends: 0,
+            decode_lost: 0,
+            out_of_order_sets: 0,
+            anomalous_rearms: 0,
         }
     }
 }

@@ -17,6 +17,15 @@
 //! spans and counters. The sim section is bit-identical across
 //! `--serial`, parallel and cached runs of the same parameters; see the
 //! Observability section of the README.
+//!
+//! `--scale N` multiplies the trace duration by `N` (the webserver
+//! workloads scale their connection counts with duration, so this is the
+//! "10× longer Apache/httperf run" knob). `--collected` forces the
+//! collect-everything oracle path — the whole trace resident as one
+//! `Vec<Event>` before analysis — whose stdout must be byte-identical to
+//! the streaming paths'. `--assert-peak-resident-below N` exits nonzero
+//! if the `analysis_resident_events_high_watermark` gauge reached `N` or
+//! more in any experiment (the CI bounded-memory check).
 
 use timerstudy::experiment::repro_duration;
 use timerstudy::FaultSpec;
@@ -44,7 +53,36 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let serial = args.iter().any(|a| a == "--serial");
+    let collected = args.iter().any(|a| a == "--collected");
     let metrics = metrics_dir(&args);
+    let scale = match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(n) => match n.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--scale {n}: expected an integer >= 1");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
+    let resident_cap = match args
+        .iter()
+        .position(|a| a == "--assert-peak-resident-below")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(n) => match n.parse::<u64>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("--assert-peak-resident-below {n}: expected an integer >= 1");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let faults = match args
         .iter()
         .position(|a| a == "--faults")
@@ -59,8 +97,12 @@ fn main() {
         },
         None => FaultSpec::none(),
     };
-    let duration = repro_duration();
-    let threads = if serial {
+    if collected && !faults.is_none() {
+        eprintln!("--collected and --faults are mutually exclusive");
+        std::process::exit(2);
+    }
+    let duration = repro_duration() * scale;
+    let threads = if serial || collected {
         1
     } else {
         timerstudy::parallel::default_threads(9)
@@ -68,7 +110,9 @@ fn main() {
     eprintln!(
         "running all experiments at {} simulated seconds per trace ({}, faults: {})...",
         duration.as_secs(),
-        if serial {
+        if collected {
+            "collected oracle path".to_owned()
+        } else if serial {
             "serial reference path".to_owned()
         } else {
             format!("parallel, up to {threads} threads")
@@ -80,6 +124,11 @@ fn main() {
         (
             "faulted",
             timerstudy::figures::reproduce_all_faulted_with_results(duration, SEED, faults),
+        )
+    } else if collected {
+        (
+            "collected",
+            timerstudy::figures::reproduce_all_collected_with_results(duration, SEED),
         )
     } else if serial {
         (
@@ -138,5 +187,25 @@ fn main() {
         std::fs::write(format!("{dir}/run_report.prom"), report.to_prometheus())
             .expect("write run_report.prom");
         eprintln!("telemetry run report written to {dir}/run_report.{{json,prom}}");
+    }
+    // The analysis pipeline's memory bound, from each experiment's sim
+    // snapshot: on the streaming paths this is capped by the chunk size
+    // no matter how long the trace is; on --collected it is the full
+    // trace length.
+    let peak_resident = results
+        .iter()
+        .map(|r| {
+            r.metrics
+                .gauge(telemetry::SimGauge::AnalysisResidentEventsHigh)
+        })
+        .max()
+        .unwrap_or(0);
+    eprintln!("peak resident analysis events: {peak_resident}");
+    if let Some(cap) = resident_cap {
+        if peak_resident >= cap {
+            eprintln!("FAIL: peak resident analysis events {peak_resident} >= cap {cap}");
+            std::process::exit(1);
+        }
+        eprintln!("peak resident analysis events within cap {cap}");
     }
 }

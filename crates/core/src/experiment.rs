@@ -1,8 +1,8 @@
 //! Running one workload × OS experiment end to end.
 
-use analysis::{AnalyzerConfig, Report, TraceAnalyzer};
+use analysis::{AnalyzerConfig, EventVisitor, Report, TraceAnalyzer};
 use simtime::{SimDuration, SimInstant};
-use trace::{Event, FaultSink, TraceSink};
+use trace::{CollectSink, Event, FaultSink, TraceSink};
 use workloads::{pids, Workload};
 
 use crate::faults::FaultSpec;
@@ -99,13 +99,55 @@ pub struct ExperimentResult {
     pub metrics: telemetry::SimSnapshot,
 }
 
-/// A sink that owns a [`TraceAnalyzer`] and can hand it back.
-struct AnalyzerSink(Option<TraceAnalyzer>);
+/// Events buffered per analysis chunk on the streaming path. The peak
+/// buffer fill — at most this constant, regardless of trace length — is
+/// what the `analysis_resident_events_high_watermark` gauge records.
+pub const ANALYSIS_CHUNK_EVENTS: usize = 4096;
 
-impl TraceSink for AnalyzerSink {
+/// A sink that owns a [`TraceAnalyzer`], feeds it bounded chunks, and can
+/// hand it back.
+struct ChunkedAnalyzerSink {
+    analyzer: Option<TraceAnalyzer>,
+    buf: Vec<Event>,
+}
+
+impl ChunkedAnalyzerSink {
+    fn new(analyzer: TraceAnalyzer) -> Self {
+        ChunkedAnalyzerSink {
+            analyzer: Some(analyzer),
+            buf: Vec::with_capacity(ANALYSIS_CHUNK_EVENTS),
+        }
+    }
+
+    /// Gauges the buffer fill, delivers it as one chunk, and empties it.
+    /// Flush points are a pure function of the event stream, so the gauge
+    /// stays bit-identical across serial/parallel/cached execution.
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        telemetry::sim::gauge_max(
+            telemetry::SimGauge::AnalysisResidentEventsHigh,
+            self.buf.len() as u64,
+        );
+        if let Some(a) = self.analyzer.as_mut() {
+            a.visit_chunk(&self.buf);
+        }
+        self.buf.clear();
+    }
+
+    /// Flushes the tail and surrenders the analyzer.
+    fn take(&mut self) -> Option<TraceAnalyzer> {
+        self.flush();
+        self.analyzer.take()
+    }
+}
+
+impl TraceSink for ChunkedAnalyzerSink {
     fn record(&mut self, event: &Event) {
-        if let Some(a) = self.0.as_mut() {
-            a.push(event);
+        self.buf.push(*event);
+        if self.buf.len() >= ANALYSIS_CHUNK_EVENTS {
+            self.flush();
         }
     }
 
@@ -149,7 +191,8 @@ pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> Experim
     // time) lands in a fresh scoped accumulator, so the snapshot is this
     // experiment's alone regardless of which worker thread ran it.
     let (mut result, metrics) = telemetry::sim::scoped(|| {
-        let analyzer: Box<dyn TraceSink> = Box::new(AnalyzerSink(Some(TraceAnalyzer::new(cfg))));
+        let analyzer: Box<dyn TraceSink> =
+            Box::new(ChunkedAnalyzerSink::new(TraceAnalyzer::new(cfg)));
         // The fault adaptor is installed only when a trace-plane fault is
         // active, so a clean spec's sink chain is structurally identical to
         // the pre-fault-plane one.
@@ -223,12 +266,13 @@ fn recover_analyzer(sink: &mut dyn TraceSink) -> (TraceAnalyzer, u64) {
     (take_analyzer(sink), 0)
 }
 
-/// Recovers the analyzer from the kernel's sink.
+/// Recovers the analyzer from the kernel's sink, flushing any buffered
+/// tail chunk first.
 fn take_analyzer(sink: &mut dyn TraceSink) -> TraceAnalyzer {
     sink.as_any_mut()
-        .and_then(|a| a.downcast_mut::<AnalyzerSink>())
-        .and_then(|s| s.0.take())
-        .expect("experiment sink is always an AnalyzerSink")
+        .and_then(|a| a.downcast_mut::<ChunkedAnalyzerSink>())
+        .and_then(ChunkedAnalyzerSink::take)
+        .expect("experiment sink is always a ChunkedAnalyzerSink")
 }
 
 /// Runs a batch of experiments strictly serially, in spec order.
@@ -238,6 +282,130 @@ fn take_analyzer(sink: &mut dyn TraceSink) -> TraceAnalyzer {
 /// tested against: both must produce bit-identical results.
 pub fn run_experiments(specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
     specs.iter().copied().map(run_experiment).collect()
+}
+
+/// Runs one experiment through the collect-everything oracle path: the
+/// whole trace is materialised as a `Vec<Event>` before a single
+/// analysis pass, exactly as every pipeline stage worked before the
+/// streaming reader existed. Reports must be byte-identical to
+/// [`run_experiment`]'s; only the peak-resident-events gauge differs
+/// (full trace length here, chunk-bounded there). Because of that gauge
+/// difference, oracle results never enter the experiment cache.
+pub fn run_experiment_collected(spec: ExperimentSpec) -> ExperimentResult {
+    let cfg = analyzer_config(spec.os, spec.workload);
+    run_experiment_collected_with(spec, cfg)
+}
+
+/// [`run_experiment_collected`] with an explicit analyzer configuration.
+pub fn run_experiment_collected_with(
+    spec: ExperimentSpec,
+    cfg: AnalyzerConfig,
+) -> ExperimentResult {
+    let _experiment_span = telemetry::span("stage.experiment");
+    telemetry::global().add("experiments_run_total", 1);
+    let (mut result, metrics) = telemetry::sim::scoped(|| {
+        let collect: Box<dyn TraceSink> = Box::new(CollectSink::default());
+        let trace_faulted = !spec.faults.drops.is_none() || !spec.faults.clock.is_none();
+        let sink: Box<dyn TraceSink> = if trace_faulted {
+            Box::new(FaultSink::new(
+                collect,
+                spec.faults.drops,
+                spec.faults.clock,
+                spec.faults.seed,
+            ))
+        } else {
+            collect
+        };
+        let net = spec.faults.net;
+        let (mut report, wakeups, busy, records, logging_overhead, dropped) = match spec.os {
+            Os::Linux => {
+                let mut kernel = {
+                    let _workload_span = telemetry::span("stage.workload");
+                    workloads::run_linux_faulted(spec.workload, spec.seed, spec.duration, sink, net)
+                };
+                let _analysis_span = telemetry::span("stage.analysis");
+                let wakeups = kernel.cpu().wakeups();
+                let busy = kernel.cpu().busy_time();
+                let records = kernel.log().records_logged();
+                let overhead = kernel.log().modeled_overhead();
+                let (events, dropped) = recover_collected(kernel.log_mut().sink_mut());
+                let report = analyze_collected(events, cfg, kernel.log().strings());
+                (report, wakeups, busy, records, overhead, dropped)
+            }
+            Os::Vista => {
+                let mut kernel = {
+                    let _workload_span = telemetry::span("stage.workload");
+                    workloads::run_vista_faulted(spec.workload, spec.seed, spec.duration, sink, net)
+                };
+                let _analysis_span = telemetry::span("stage.analysis");
+                let wakeups = kernel.cpu().wakeups();
+                let busy = kernel.cpu().busy_time();
+                let records = kernel.log().records_logged();
+                let overhead = kernel.log().modeled_overhead();
+                let (events, dropped) = recover_collected(kernel.log_mut().sink_mut());
+                let report = analyze_collected(events, cfg, kernel.log().strings());
+                (report, wakeups, busy, records, overhead, dropped)
+            }
+        };
+        report.summary.dropped_records = dropped;
+        ExperimentResult {
+            spec,
+            report,
+            wakeups,
+            busy,
+            records,
+            logging_overhead,
+            metrics: telemetry::SimSnapshot::empty(),
+        }
+    });
+    result.metrics = metrics;
+    result
+}
+
+/// Recovers the collected events (and any fault adaptor's drop count)
+/// from the kernel's sink.
+fn recover_collected(sink: &mut dyn TraceSink) -> (Vec<Event>, u64) {
+    if let Some(fault) = sink
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<FaultSink>())
+    {
+        let dropped = fault.dropped();
+        return (take_collected(fault.inner_mut()), dropped);
+    }
+    (take_collected(sink), 0)
+}
+
+fn take_collected(sink: &mut dyn TraceSink) -> Vec<Event> {
+    sink.as_any_mut()
+        .and_then(|a| a.downcast_mut::<CollectSink>())
+        .map(|c| std::mem::take(&mut c.events))
+        .expect("oracle sink is always a CollectSink")
+}
+
+/// One whole-trace analysis pass: the entire event vector is resident,
+/// which is exactly what the gauge records on this path.
+fn analyze_collected(
+    events: Vec<Event>,
+    cfg: AnalyzerConfig,
+    strings: &trace::StringTable,
+) -> Report {
+    telemetry::sim::gauge_max(
+        telemetry::SimGauge::AnalysisResidentEventsHigh,
+        events.len() as u64,
+    );
+    let mut analyzer = TraceAnalyzer::new(cfg);
+    analyzer.visit_chunk(&events);
+    analyzer.finish(strings)
+}
+
+/// Runs a batch through the collected oracle path, serially and
+/// uncached.
+pub fn run_experiments_collected(specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
+    specs
+        .iter()
+        .copied()
+        .map(run_experiment_collected)
+        .collect()
 }
 
 /// The specs of the four Table 1/2 workloads on one OS.

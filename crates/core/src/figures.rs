@@ -338,6 +338,25 @@ pub fn reproduce_all_serial_with_results(
     (results, artifacts)
 }
 
+/// [`reproduce_all`] through the collect-everything oracle path: the
+/// whole trace is materialised before one analysis pass. Artifacts must
+/// be byte-identical to the streaming paths' — this is the differential
+/// oracle behind `repro_all --collected`. Never cached (its resident-
+/// events gauge legitimately differs from the streaming runs').
+pub fn reproduce_all_collected(duration: simtime::SimDuration, seed: u64) -> Vec<Artifact> {
+    reproduce_all_collected_with_results(duration, seed).1
+}
+
+/// [`reproduce_all_collected`], also returning the experiment results.
+pub fn reproduce_all_collected_with_results(
+    duration: simtime::SimDuration,
+    seed: u64,
+) -> (Vec<ExperimentResult>, Vec<Artifact>) {
+    let results = crate::experiment::run_experiments_collected(&paper_specs(duration, seed));
+    let artifacts = assemble(&results);
+    (results, artifacts)
+}
+
 /// [`reproduce_all`] under fault injection: every experiment carries
 /// `faults`, and the summary tables gain drop/degradation accounting
 /// rows. With `FaultSpec::none()` this is exactly [`reproduce_all`].

@@ -37,7 +37,10 @@ pub mod render;
 
 pub use analysis::Report;
 pub use cache::ExperimentCache;
-pub use experiment::{run_experiment, run_experiments, ExperimentResult, ExperimentSpec, Os};
+pub use experiment::{
+    run_experiment, run_experiment_collected, run_experiments, run_experiments_collected,
+    ExperimentResult, ExperimentSpec, Os, ANALYSIS_CHUNK_EVENTS,
+};
 pub use faults::FaultSpec;
 pub use metrics::{run_report, spec_label};
 pub use parallel::{run_experiments_parallel, run_experiments_parallel_with, run_trials};

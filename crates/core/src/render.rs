@@ -76,6 +76,13 @@ pub fn summary_table(results: &[ExperimentResult]) -> String {
             r.report.summary.dropped_records
         }));
         rows.push(metric("Orphan ends", &|r| r.report.summary.orphan_ends));
+        rows.push(metric("Decode lost", &|r| r.report.summary.decode_lost));
+        rows.push(metric("Out-of-order sets", &|r| {
+            r.report.summary.out_of_order_sets
+        }));
+        rows.push(metric("Anomalous re-arms", &|r| {
+            r.report.summary.anomalous_rearms
+        }));
     }
     table(&headers, &rows)
 }

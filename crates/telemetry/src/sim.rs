@@ -101,14 +101,21 @@ pub enum SimGauge {
     RingBytesHigh,
     /// Largest string-table size reached.
     StringTableSize,
+    /// Most events resident in the analysis pipeline's chunk buffer at
+    /// once — the streaming pipeline's whole memory footprint, bounded by
+    /// the chunk size regardless of trace length (the collected oracle
+    /// path reports the full trace length here instead).
+    AnalysisResidentEventsHigh,
 }
 
 impl SimGauge {
-    /// Every gauge, in stable export order.
-    pub const ALL: [SimGauge; 3] = [
+    /// Every gauge, in stable export order. New gauges are appended so
+    /// existing gauges' indices stay stable.
+    pub const ALL: [SimGauge; 4] = [
         SimGauge::WheelPendingHigh,
         SimGauge::RingBytesHigh,
         SimGauge::StringTableSize,
+        SimGauge::AnalysisResidentEventsHigh,
     ];
 
     /// Stable metric name.
@@ -117,6 +124,7 @@ impl SimGauge {
             SimGauge::WheelPendingHigh => "wheel_pending_high_watermark",
             SimGauge::RingBytesHigh => "trace_ring_bytes_high_watermark",
             SimGauge::StringTableSize => "trace_string_table_size",
+            SimGauge::AnalysisResidentEventsHigh => "analysis_resident_events_high_watermark",
         }
     }
 }

@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 
 use crate::codec::{self, DecodeError};
 use crate::event::Event;
-use crate::reader::RingReader;
+use crate::merge::{MergeStats, MergedReader};
 use crate::ring::RingBuffer;
 
 /// A set of per-CPU ring buffers.
@@ -80,6 +80,21 @@ impl PerCpuRings {
         f(&mut self.cpus[cpu].lock())
     }
 
+    /// A consistent snapshot of every ring. Cloning keeps any partial
+    /// trailing bytes so damage stays detectable by the readers.
+    fn snapshot(&self) -> Vec<RingBuffer> {
+        self.cpus.iter().map(|c| c.lock().clone()).collect()
+    }
+
+    /// A streaming, loss-accounting k-way merge over a snapshot of the
+    /// rings: events arrive in timestamp order (stable across CPUs at
+    /// equal timestamps) with only `O(cpus)` decoded events resident, and
+    /// damaged records are skipped and counted in the reader's
+    /// [`MergeStats`] instead of discarding healthy CPUs' data.
+    pub fn stream(&self) -> MergedReader {
+        MergedReader::new(self.snapshot())
+    }
+
     /// Decodes and merges all per-CPU streams into one timestamp-ordered
     /// event list (stable across CPUs at equal timestamps: lower CPU
     /// index first, preserving each CPU's internal order).
@@ -88,45 +103,17 @@ impl PerCpuRings {
     /// consumer — fails with [`DecodeError::Truncated`] instead of being
     /// silently treated as complete.
     pub fn merged(&self) -> Result<Vec<Event>, DecodeError> {
-        // Take a consistent snapshot of each ring. Cloning keeps any
-        // partial trailing bytes so damage stays detectable.
-        let rings: Vec<RingBuffer> = self.cpus.iter().map(|c| c.lock().clone()).collect();
-        for ring in &rings {
-            if ring.has_partial_tail() {
-                return Err(DecodeError::Truncated {
-                    available: ring.partial_tail_bytes(),
-                });
-            }
-        }
-        let mut streams: Vec<std::iter::Peekable<RingReader<'_>>> = rings
-            .iter()
-            .map(|r| RingReader::new(r).peekable())
-            .collect();
-        let mut out = Vec::with_capacity(rings.iter().map(|r| r.record_count()).sum());
-        loop {
-            // Pick the stream with the smallest head timestamp.
-            let mut best: Option<(usize, u64)> = None;
-            for (idx, stream) in streams.iter_mut().enumerate() {
-                match stream.peek() {
-                    Some(Ok(e)) => {
-                        let ts = e.ts.as_nanos();
-                        if best.is_none_or(|(_, b)| ts < b) {
-                            best = Some((idx, ts));
-                        }
-                    }
-                    Some(Err(err)) => return Err(err.clone()),
-                    None => {}
-                }
-            }
-            match best {
-                Some((idx, _)) => {
-                    let event = streams[idx].next().expect("peeked").expect("checked above");
-                    out.push(event);
-                }
-                None => break,
-            }
-        }
-        Ok(out)
+        MergedReader::strict(self.snapshot()).collect()
+    }
+
+    /// Like [`PerCpuRings::merged`], but damage on one CPU's ring loses
+    /// only the damaged records: everything decodable is returned, and
+    /// the returned [`MergeStats`] accounts each loss so consumers can
+    /// fold it into their lost-record rows.
+    pub fn merged_lossy(&self) -> (Vec<Event>, MergeStats) {
+        let mut reader = self.stream();
+        let events: Vec<Event> = reader.by_ref().filter_map(Result::ok).collect();
+        (events, reader.into_stats())
     }
 }
 
@@ -196,6 +183,48 @@ mod tests {
         // The kind byte sits after the 8-byte timestamp.
         rings.with_ring_mut(0, |r| r.overwrite(8, &[0xEE]));
         assert_eq!(rings.merged(), Err(DecodeError::BadKind(0xEE)));
+    }
+
+    #[test]
+    fn lossy_merge_keeps_healthy_cpus_and_accounts_damage() {
+        let rings = PerCpuRings::new(2, 1 << 14);
+        rings.log_on(0, &ev(10, 1));
+        rings.log_on(0, &ev(30, 2));
+        rings.log_on(1, &ev(20, 3));
+        // Scribble CPU 0's *first* record; its second must still decode,
+        // as must everything on CPU 1.
+        rings.with_ring_mut(0, |r| r.overwrite(8, &[0xEE]));
+        assert!(rings.merged().is_err(), "strict path still refuses damage");
+        let (events, stats) = rings.merged_lossy();
+        let order: Vec<u64> = events.iter().map(|e| e.timer).collect();
+        assert_eq!(order, vec![3, 2]);
+        assert_eq!(stats.decoded, 2);
+        assert_eq!(stats.lost_records, 1);
+        assert_eq!(stats.errors, vec![(0, DecodeError::BadKind(0xEE))]);
+    }
+
+    #[test]
+    fn lossy_merge_counts_torn_tail_without_discarding() {
+        let rings = PerCpuRings::new(2, 1 << 14);
+        rings.log_on(0, &ev(10, 1));
+        rings.log_on(1, &ev(20, 2));
+        rings.with_ring_mut(1, |r| r.truncate_bytes(codec::RECORD_SIZE / 3));
+        let (events, stats) = rings.merged_lossy();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].timer, 1);
+        assert_eq!(stats.lost_records, 1);
+        assert!(!stats.is_complete());
+    }
+
+    #[test]
+    fn stream_matches_merged_on_clean_rings() {
+        let rings = PerCpuRings::new(3, 1 << 14);
+        for i in 0..30u64 {
+            rings.log_on((i % 3) as usize, &ev(1000 - i * 7, i));
+        }
+        let eager = rings.merged().unwrap();
+        let streamed: Vec<Event> = rings.stream().map(|r| r.unwrap()).collect();
+        assert_eq!(eager, streamed);
     }
 
     #[test]
