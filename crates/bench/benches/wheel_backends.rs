@@ -1,0 +1,135 @@
+//! Per-backend cost profile of the pluggable timer-queue factory.
+//!
+//! Where `wheel_ops` compares the concrete structures on one mixed
+//! workload, this bench isolates the four operations the simulated
+//! kernels drive through `Backend::build` — schedule, cancel, cascade
+//! pressure, and a drain-heavy advance — so a backend choice for
+//! `repro_all --wheel-backend` can be justified per axis rather than in
+//! aggregate. Every backend goes through the same `Box<dyn TimerQueue>`
+//! the kernels use, so virtual-dispatch cost is part of the measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simtime::SimRng;
+use wheel::{Backend, TimerQueue};
+
+fn fresh(backend: Backend) -> Box<dyn TimerQueue> {
+    backend.build(Backend::Hierarchical, 256)
+}
+
+/// The sorted list's O(n) insert makes large sizes pointless; cap it so
+/// the bench finishes while still ranking it against the others.
+fn sizes_for(backend: Backend) -> &'static [u64] {
+    match backend {
+        Backend::SortedList => &[4_096],
+        _ => &[4_096, 65_536],
+    }
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_backend_schedule");
+    for backend in Backend::FORCED {
+        for &n in sizes_for(backend) {
+            group.bench_with_input(BenchmarkId::new(backend.label(), n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut q = fresh(backend);
+                    let mut rng = SimRng::new(1);
+                    for i in 0..n {
+                        q.schedule(i, 1 + rng.range_u64(0, 100_000));
+                    }
+                    q.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cancel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_backend_cancel");
+    for backend in Backend::FORCED {
+        for &n in sizes_for(backend) {
+            group.bench_with_input(BenchmarkId::new(backend.label(), n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut q = fresh(backend);
+                    let mut rng = SimRng::new(1);
+                    for i in 0..n {
+                        q.schedule(i, 1 + rng.range_u64(0, 100_000));
+                    }
+                    // Cancel in a shuffled-ish order, as kernels do.
+                    let mut cancelled = 0u64;
+                    for i in 0..n {
+                        if q.cancel((i * 7 + 3) % n) {
+                            cancelled += 1;
+                        }
+                    }
+                    cancelled
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Timers spread across five wheel revolutions, then advanced through
+/// the whole horizon: maximal cascade pressure for the hierarchical
+/// wheel and maximal revisit pressure for the hashed wheel.
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_backend_cascade");
+    for backend in Backend::FORCED {
+        for &n in sizes_for(backend) {
+            group.bench_with_input(BenchmarkId::new(backend.label(), n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut q = fresh(backend);
+                    let mut rng = SimRng::new(1);
+                    let horizon = 5 * 256 * 64;
+                    for i in 0..n {
+                        q.schedule(i, 1 + rng.range_u64(0, horizon));
+                    }
+                    let mut fired = 0u64;
+                    q.advance_to(horizon + 1, &mut |_, _| fired += 1);
+                    fired
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The paper's trace mix (schedule-heavy, cancel-more-than-expire) with
+/// frequent short advances — the closest proxy for simulator load.
+fn bench_advance_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_backend_advance_mix");
+    for backend in Backend::FORCED {
+        for &n in sizes_for(backend) {
+            group.bench_with_input(BenchmarkId::new(backend.label(), n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut q = fresh(backend);
+                    let mut rng = SimRng::new(1);
+                    let mut now = 0u64;
+                    let mut fired = 0u64;
+                    for i in 0..n {
+                        q.schedule(i % 512, now + 1 + rng.range_u64(0, 5_000));
+                        if rng.chance(0.6) {
+                            q.cancel(rng.range_u64(0, 512));
+                        }
+                        if i % 16 == 0 {
+                            now += 40;
+                            q.advance_to(now, &mut |_, _| fired += 1);
+                        }
+                    }
+                    fired
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule,
+    bench_cancel,
+    bench_cascade,
+    bench_advance_mix
+);
+criterion_main!(benches);

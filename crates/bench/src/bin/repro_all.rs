@@ -26,11 +26,70 @@
 //! the streaming paths'. `--assert-peak-resident-below N` exits nonzero
 //! if the `analysis_resident_events_high_watermark` gauge reached `N` or
 //! more in any experiment (the CI bounded-memory check).
+//!
+//! `--wheel-backend NAME|all` forces every simulated subsystem's timer
+//! queue onto one structure (`hierarchical`, `hashed`, `sortedlist`,
+//! `heap`; `native` keeps each kernel's historical one). With `all`, the
+//! whole figure pipeline runs once per backend, the artifacts are
+//! asserted byte-identical to the native run's, and a per-backend run
+//! summary with the wheel counters (`wheel_schedules`, `wheel_cancels`,
+//! `wheel_cascades`) is printed — the cross-backend equivalence matrix.
 
 use timerstudy::experiment::repro_duration;
-use timerstudy::FaultSpec;
+use timerstudy::{Backend, FaultSpec};
 
 const SEED: u64 = 7;
+
+/// What `--wheel-backend` asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendMode {
+    /// No flag: the native structures, via the default paths.
+    Default,
+    /// One forced backend for the whole pipeline.
+    One(Backend),
+    /// The full matrix: native plus every forced backend, with an
+    /// artifact byte-identity assertion.
+    All,
+}
+
+/// Parses `--wheel-backend NAME` / `--wheel-backend=NAME`.
+fn backend_mode(args: &[String]) -> BackendMode {
+    let value = args
+        .iter()
+        .position(|a| a == "--wheel-backend")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--wheel-backend=").map(str::to_owned))
+        });
+    match value.as_deref() {
+        None => BackendMode::Default,
+        Some("all") => BackendMode::All,
+        Some(name) => match Backend::parse(name) {
+            Some(b) => BackendMode::One(b),
+            None => {
+                eprintln!(
+                    "--wheel-backend {name}: expected native, hierarchical, hashed, \
+                     sortedlist, heap, or all"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// One backend's aggregated wheel counters, for the per-backend summary.
+fn wheel_counter_summary(results: &[timerstudy::ExperimentResult]) -> String {
+    use telemetry::SimCounter;
+    let sum = |c: SimCounter| -> u64 { results.iter().map(|r| r.metrics.counter(c)).sum() };
+    format!(
+        "wheel_schedules={} wheel_cancels={} wheel_expirations={} wheel_cascades={}",
+        sum(SimCounter::WheelSchedules),
+        sum(SimCounter::WheelCancels),
+        sum(SimCounter::WheelExpirations),
+        sum(SimCounter::WheelCascades),
+    )
+}
 
 /// Parses `--metrics` / `--metrics=DIR` into the report directory.
 fn metrics_dir(args: &[String]) -> Option<String> {
@@ -101,6 +160,11 @@ fn main() {
         eprintln!("--collected and --faults are mutually exclusive");
         std::process::exit(2);
     }
+    let backend = backend_mode(&args);
+    if backend != BackendMode::Default && (collected || serial || !faults.is_none()) {
+        eprintln!("--wheel-backend runs on the cached parallel path; it cannot be combined with --serial, --collected, or --faults");
+        std::process::exit(2);
+    }
     let duration = repro_duration() * scale;
     let threads = if serial || collected {
         1
@@ -120,6 +184,8 @@ fn main() {
         faults.label(),
     );
     let started = std::time::Instant::now();
+    // Per-backend summary lines, printed with the run summary.
+    let mut backend_summaries: Vec<String> = Vec::new();
     let (mode, (results, artifacts)) = if !faults.is_none() {
         (
             "faulted",
@@ -136,10 +202,63 @@ fn main() {
             timerstudy::figures::reproduce_all_serial_with_results(duration, SEED),
         )
     } else {
-        (
-            "parallel",
-            timerstudy::figures::reproduce_all_with_results(duration, SEED),
-        )
+        match backend {
+            BackendMode::Default => (
+                "parallel",
+                timerstudy::figures::reproduce_all_with_results(duration, SEED),
+            ),
+            BackendMode::One(b) => {
+                let run =
+                    timerstudy::figures::reproduce_all_backend_with_results(duration, SEED, b);
+                backend_summaries.push(format!(
+                    "backend {}: {}",
+                    b.label(),
+                    wheel_counter_summary(&run.0)
+                ));
+                ("backend", run)
+            }
+            BackendMode::All => {
+                // The matrix: native first (its artifacts are the run's
+                // stdout and the comparison baseline), then every forced
+                // backend, each asserted byte-identical.
+                let mut all_results = Vec::new();
+                let mut baseline: Option<Vec<timerstudy::figures::Artifact>> = None;
+                for b in std::iter::once(Backend::Native).chain(Backend::FORCED) {
+                    let (results, artifacts) =
+                        timerstudy::figures::reproduce_all_backend_with_results(duration, SEED, b);
+                    backend_summaries.push(format!(
+                        "backend {}: {}",
+                        b.label(),
+                        wheel_counter_summary(&results)
+                    ));
+                    all_results.extend(results);
+                    match &baseline {
+                        None => baseline = Some(artifacts),
+                        Some(native) => {
+                            let identical = native.len() == artifacts.len()
+                                && native.iter().zip(&artifacts).all(|(n, a)| {
+                                    n.title == a.title && n.text == a.text && n.csv == a.csv
+                                });
+                            if !identical {
+                                eprintln!(
+                                    "FAIL: backend {} artifacts differ from the native run's",
+                                    b.label()
+                                );
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                }
+                eprintln!(
+                    "backend matrix: artifacts byte-identical across native and {} forced backends",
+                    Backend::FORCED.len()
+                );
+                (
+                    "backend_matrix",
+                    (all_results, baseline.expect("native ran")),
+                )
+            }
+        }
     };
     let wall = started.elapsed();
     eprintln!(
@@ -171,6 +290,9 @@ fn main() {
     // The final run summary is always printed, metrics requested or not.
     let cache = timerstudy::cache::global();
     bench::print_stage_summary(&format!("repro_all.{mode}"), &results, started);
+    for line in &backend_summaries {
+        eprintln!("{line}");
+    }
     eprintln!(
         "run summary: cache {} hits / {} misses, {} thread(s), {:.2} s wall-clock",
         cache.hits(),

@@ -45,6 +45,12 @@ pub struct ExperimentSpec {
     /// runs the paper reports). Part of the cache key, so faulted and
     /// clean runs of the same workload never alias in the memo table.
     pub faults: FaultSpec,
+    /// Timer-queue backend for every simulated subsystem
+    /// ([`wheel::Backend::Native`] keeps each kernel's historical
+    /// structure). Part of the cache key: equivalence makes the *report*
+    /// identical across backends, but the sim-plane metrics snapshot
+    /// (cascades vs revisits vs stale pops) is backend-specific.
+    pub backend: wheel::Backend,
 }
 
 impl ExperimentSpec {
@@ -57,12 +63,19 @@ impl ExperimentSpec {
             duration,
             seed,
             faults: FaultSpec::none(),
+            backend: wheel::Backend::Native,
         }
     }
 
     /// The same experiment with fault injection enabled.
     pub const fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// The same experiment on a forced timer-queue backend.
+    pub const fn with_backend(mut self, backend: wheel::Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -212,7 +225,14 @@ pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> Experim
             Os::Linux => {
                 let mut kernel = {
                     let _workload_span = telemetry::span("stage.workload");
-                    workloads::run_linux_faulted(spec.workload, spec.seed, spec.duration, sink, net)
+                    workloads::run_linux_backend(
+                        spec.workload,
+                        spec.seed,
+                        spec.duration,
+                        sink,
+                        net,
+                        spec.backend,
+                    )
                 };
                 let _analysis_span = telemetry::span("stage.analysis");
                 let wakeups = kernel.cpu().wakeups();
@@ -226,7 +246,14 @@ pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> Experim
             Os::Vista => {
                 let mut kernel = {
                     let _workload_span = telemetry::span("stage.workload");
-                    workloads::run_vista_faulted(spec.workload, spec.seed, spec.duration, sink, net)
+                    workloads::run_vista_backend(
+                        spec.workload,
+                        spec.seed,
+                        spec.duration,
+                        sink,
+                        net,
+                        spec.backend,
+                    )
                 };
                 let _analysis_span = telemetry::span("stage.analysis");
                 let wakeups = kernel.cpu().wakeups();
@@ -321,7 +348,14 @@ pub fn run_experiment_collected_with(
             Os::Linux => {
                 let mut kernel = {
                     let _workload_span = telemetry::span("stage.workload");
-                    workloads::run_linux_faulted(spec.workload, spec.seed, spec.duration, sink, net)
+                    workloads::run_linux_backend(
+                        spec.workload,
+                        spec.seed,
+                        spec.duration,
+                        sink,
+                        net,
+                        spec.backend,
+                    )
                 };
                 let _analysis_span = telemetry::span("stage.analysis");
                 let wakeups = kernel.cpu().wakeups();
@@ -335,7 +369,14 @@ pub fn run_experiment_collected_with(
             Os::Vista => {
                 let mut kernel = {
                     let _workload_span = telemetry::span("stage.workload");
-                    workloads::run_vista_faulted(spec.workload, spec.seed, spec.duration, sink, net)
+                    workloads::run_vista_backend(
+                        spec.workload,
+                        spec.seed,
+                        spec.duration,
+                        sink,
+                        net,
+                        spec.backend,
+                    )
                 };
                 let _analysis_span = telemetry::span("stage.analysis");
                 let wakeups = kernel.cpu().wakeups();

@@ -270,6 +270,19 @@ pub fn paper_specs_faulted(
         .collect()
 }
 
+/// [`paper_specs`] with every experiment forced onto one timer-queue
+/// backend (the `repro_all --wheel-backend` path).
+pub fn paper_specs_backend(
+    duration: simtime::SimDuration,
+    seed: u64,
+    backend: wheel::Backend,
+) -> Vec<ExperimentSpec> {
+    paper_specs(duration, seed)
+        .into_iter()
+        .map(|s| s.with_backend(backend))
+        .collect()
+}
+
 /// Assembles the paper's artifacts from results laid out as
 /// [`paper_specs`] returns them (4 Linux, 4 Vista, 1 Outlook).
 pub fn assemble(results: &[ExperimentResult]) -> Vec<Artifact> {
@@ -375,6 +388,29 @@ pub fn reproduce_all_faulted_with_results(
     faults: crate::FaultSpec,
 ) -> (Vec<ExperimentResult>, Vec<Artifact>) {
     let results = crate::cache::global().run_all(&paper_specs_faulted(duration, seed, faults));
+    let artifacts = assemble(&results);
+    (results, artifacts)
+}
+
+/// [`reproduce_all`] with every experiment on one forced timer-queue
+/// backend, through the process-wide cache (backend is part of the cache
+/// key, so different backends never alias). With `Backend::Native` this
+/// is exactly [`reproduce_all`].
+pub fn reproduce_all_backend(
+    duration: simtime::SimDuration,
+    seed: u64,
+    backend: wheel::Backend,
+) -> Vec<Artifact> {
+    reproduce_all_backend_with_results(duration, seed, backend).1
+}
+
+/// [`reproduce_all_backend`], also returning the experiment results.
+pub fn reproduce_all_backend_with_results(
+    duration: simtime::SimDuration,
+    seed: u64,
+    backend: wheel::Backend,
+) -> (Vec<ExperimentResult>, Vec<Artifact>) {
+    let results = crate::cache::global().run_all(&paper_specs_backend(duration, seed, backend));
     let artifacts = assemble(&results);
     (results, artifacts)
 }

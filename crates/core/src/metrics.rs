@@ -26,6 +26,10 @@ pub fn spec_label(spec: &ExperimentSpec) -> String {
     if spec.faults != crate::FaultSpec::none() {
         label.push_str(" faulted");
     }
+    if spec.backend != wheel::Backend::Native {
+        label.push_str(" backend=");
+        label.push_str(spec.backend.label());
+    }
     label
 }
 

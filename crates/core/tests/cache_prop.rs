@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 use simtime::SimDuration;
-use timerstudy::{ExperimentSpec, FaultSpec, Os, Workload};
+use timerstudy::{Backend, ExperimentSpec, FaultSpec, Os, Workload};
 use workloads::trial_seed;
 
 fn os_strategy() -> BoxedStrategy<Os> {
@@ -156,14 +156,47 @@ proptest! {
         };
         let other_seed = ExperimentSpec { seed: spec.seed ^ 1, ..spec };
         let other_faults = spec.with_faults(FaultSpec::ring_drops());
+        let other_backend = spec.with_backend(Backend::Heap);
         let mut map: HashMap<ExperimentSpec, &str> = HashMap::new();
         map.insert(spec, "base");
         map.insert(other_os, "os");
         map.insert(other_duration, "duration");
         map.insert(other_seed, "seed");
         map.insert(other_faults, "faults");
-        prop_assert_eq!(map.len(), 5);
+        map.insert(other_backend, "backend");
+        prop_assert_eq!(map.len(), 6);
         prop_assert_eq!(map.get(&spec).copied(), Some("base"));
+    }
+
+    /// Specs that differ only in the timer-queue backend never share a
+    /// cache entry: forcing a backend can never be served the native
+    /// run's report (their sim metrics differ even when figures agree).
+    #[test]
+    fn distinct_backends_never_collide(spec in spec_strategy()) {
+        let mut map: HashMap<ExperimentSpec, Backend> = HashMap::new();
+        map.insert(spec, Backend::Native);
+        for b in Backend::FORCED {
+            map.insert(spec.with_backend(b), b);
+        }
+        // Native plus the four forced structures: five distinct keys.
+        prop_assert_eq!(map.len(), 1 + Backend::FORCED.len());
+        prop_assert_eq!(map.get(&spec).copied(), Some(Backend::Native));
+        for b in Backend::FORCED {
+            prop_assert_eq!(map.get(&spec.with_backend(b)).copied(), Some(b));
+        }
+    }
+
+    /// An explicit `with_backend(Native)` is the *same* cache key as the
+    /// plain spec, mirroring the `FaultSpec::none()` rule: naming the
+    /// default cannot fork the cache.
+    #[test]
+    fn native_backend_key_equals_plain_spec(spec in spec_strategy()) {
+        let explicit = spec.with_backend(Backend::Native);
+        prop_assert_eq!(explicit, spec);
+        let mut map: HashMap<ExperimentSpec, &str> = HashMap::new();
+        map.insert(spec, "plain");
+        map.insert(explicit, "explicit");
+        prop_assert_eq!(map.len(), 1);
     }
 
     /// Specs that differ only in their fault plane key distinct cache
@@ -199,5 +232,62 @@ proptest! {
         map.insert(explicit, "explicit");
         prop_assert_eq!(map.len(), 1);
         prop_assert_eq!(map.get(&spec).copied(), Some("explicit"));
+    }
+}
+
+fn backend_strategy() -> BoxedStrategy<Backend> {
+    prop_oneof![
+        Just(Backend::Native),
+        Just(Backend::Hierarchical),
+        Just(Backend::Hashed),
+        Just(Backend::SortedList),
+        Just(Backend::Heap),
+    ]
+    .boxed()
+}
+
+// These properties actually run experiments, so they use short traces and
+// few cases — the structure (not the volume) is what's random here.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Identical specs replay bit-identical through the cache: the second
+    /// run is a hit, and both the cached result and a fresh uncached run
+    /// serialize to the same report bytes and carry the same sim metrics.
+    #[test]
+    fn identical_specs_replay_bit_identical(
+        os in os_strategy(),
+        seed in any::<u64>(),
+        backend in backend_strategy(),
+    ) {
+        let spec = ExperimentSpec::new(os, Workload::Idle, SimDuration::from_secs(2), seed)
+            .with_backend(backend);
+        let cache = timerstudy::cache::ExperimentCache::new();
+        let first = cache.run_all(std::slice::from_ref(&spec));
+        let second = cache.run_all(std::slice::from_ref(&spec));
+        prop_assert_eq!(cache.hits(), 1, "second run must be served from cache");
+        let fresh = timerstudy::experiment::run_experiment(spec);
+        let want = serde_json::to_string(&first[0].report).unwrap();
+        prop_assert_eq!(&want, &serde_json::to_string(&second[0].report).unwrap());
+        prop_assert_eq!(&want, &serde_json::to_string(&fresh.report).unwrap());
+        prop_assert_eq!(&first[0].metrics, &second[0].metrics);
+        prop_assert_eq!(&first[0].metrics, &fresh.metrics);
+    }
+
+    /// A forced backend's cache entry is independent of the native one:
+    /// running both through one cache yields two misses, never a hit, and
+    /// each replays its own result.
+    #[test]
+    fn forced_backend_does_not_reuse_native_entry(
+        os in os_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let native = ExperimentSpec::new(os, Workload::Idle, SimDuration::from_secs(2), seed);
+        let forced = native.with_backend(Backend::Heap);
+        let cache = timerstudy::cache::ExperimentCache::new();
+        cache.run_all(std::slice::from_ref(&native));
+        cache.run_all(std::slice::from_ref(&forced));
+        prop_assert_eq!(cache.hits(), 0, "backend change must miss the cache");
+        prop_assert_eq!(cache.misses(), 2);
     }
 }

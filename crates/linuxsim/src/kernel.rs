@@ -35,6 +35,9 @@ pub struct LinuxConfig {
     pub call_cost: SimDuration,
     /// Maximum stale-now jitter on kernel-space sets (paper §3.1: 2 ms).
     pub set_jitter_max: SimDuration,
+    /// Timer-queue structure for the standard timer base; `Native` is the
+    /// kernel's hierarchical cascading wheel.
+    pub backend: wheel::Backend,
 }
 
 impl Default for LinuxConfig {
@@ -48,6 +51,7 @@ impl Default for LinuxConfig {
             callback_cost: SimDuration::from_micros(2),
             call_cost: SimDuration::from_nanos(300),
             set_jitter_max: SimDuration::from_millis(2),
+            backend: wheel::Backend::Native,
         }
     }
 }
@@ -133,7 +137,7 @@ impl LinuxKernel {
         let mut rng = SimRng::new(cfg.seed);
         let mut log = TraceLog::new(sink);
         log.register_process(0, "kernel");
-        let mut base = TimerBase::new();
+        let mut base = TimerBase::with_backend(cfg.backend);
         base.set_set_jitter_max(cfg.set_jitter_max);
         let mut kernel = LinuxKernel {
             now: SimInstant::BOOT,

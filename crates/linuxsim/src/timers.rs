@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use simtime::{Jiffies, JiffyClock, SimDuration, SimInstant, LINUX_HZ};
 use trace::{Event, EventFlags, EventKind, Pid, Space, Tid, TimerAddr, TraceLog};
-use wheel::{HierarchicalWheel, TimerQueue};
+use wheel::{Backend, TimerQueue};
 
 use crate::ids::{ConnId, NeighId, ReqId};
 
@@ -120,7 +120,7 @@ pub struct Fired {
 #[derive(Debug)]
 pub struct TimerBase {
     clock: JiffyClock,
-    wheel: HierarchicalWheel,
+    wheel: Box<dyn TimerQueue>,
     slots: Vec<TimerSlot>,
     /// Armed expiry per pending handle (for deferrable-aware idle scans).
     pending: HashMap<u32, Jiffies>,
@@ -130,11 +130,18 @@ pub struct TimerBase {
 }
 
 impl TimerBase {
-    /// Creates an empty base at HZ = 250.
+    /// Creates an empty base at HZ = 250 on the native (hierarchical
+    /// cascading wheel) structure — what 2.6.23.9's `kernel/timer.c` ships.
     pub fn new() -> Self {
+        Self::with_backend(Backend::Native)
+    }
+
+    /// Creates a base whose timer queue comes from `backend`; `Native`
+    /// selects the kernel's hierarchical cascading wheel.
+    pub fn with_backend(backend: Backend) -> Self {
         TimerBase {
             clock: JiffyClock::new(LINUX_HZ),
-            wheel: HierarchicalWheel::new(),
+            wheel: backend.build(Backend::Hierarchical, 256),
             slots: Vec::new(),
             pending: HashMap::new(),
             set_jitter_max: SimDuration::from_millis(2),

@@ -368,7 +368,7 @@ mod tests {
 
     fn sample_report() -> RunReport {
         let ((), snap) = sim::scoped(|| {
-            sim::add(SimCounter::WheelInserts, 12);
+            sim::add(SimCounter::WheelSchedules, 12);
             sim::add(SimCounter::TraceRecords, 100);
             sim::observe(SimHist::NetRttMicros, 130_000);
         });
@@ -395,7 +395,9 @@ mod tests {
         let totals = parsed.get("sim").unwrap().get("totals").unwrap();
         let counters = totals.get("counters").unwrap();
         assert_eq!(
-            counters.get("wheel_inserts_total").and_then(Value::as_u64),
+            counters
+                .get("wheel_schedules_total")
+                .and_then(Value::as_u64),
             Some(12)
         );
     }
@@ -418,7 +420,7 @@ mod tests {
     fn prometheus_has_both_planes() {
         let report = sample_report();
         let prom = report.to_prometheus();
-        assert!(prom.contains("timerstudy_wheel_inserts_total{plane=\"sim\"} 12"));
+        assert!(prom.contains("timerstudy_wheel_schedules_total{plane=\"sim\"} 12"));
         assert!(prom.contains("plane=\"wall\""));
         assert!(prom.contains("timerstudy_net_rtt_us_bucket{plane=\"sim\",le=\"+Inf\"} 1"));
     }
@@ -426,7 +428,7 @@ mod tests {
     #[test]
     fn validation_rejects_missing_counter() {
         let report = sample_report();
-        let text = report.to_json().replace("wheel_inserts_total", "bogus");
+        let text = report.to_json().replace("wheel_schedules_total", "bogus");
         let parsed = json::parse(&text).unwrap();
         assert!(validate_value(&parsed).is_err());
     }

@@ -22,14 +22,18 @@ use crate::hist::LogHistogram;
 /// Sim-plane counters (monotone event counts).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimCounter {
-    /// Timers inserted into the hierarchical wheel.
-    WheelInserts,
-    /// Entries moved by wheel cascades.
+    /// Timers armed (or re-armed) in any timer-queue backend.
+    WheelSchedules,
+    /// Entries moved by hierarchical-wheel cascades.
     WheelCascadeMoves,
-    /// Timers fired by the wheel.
+    /// Timers fired by any timer-queue backend.
     WheelExpirations,
-    /// Pending timers cancelled in the wheel.
+    /// Pending timers cancelled in any timer-queue backend.
     WheelCancels,
+    /// Deferred-maintenance entry touches: cascade moves (hierarchical),
+    /// not-yet-due revisits (hashed), stale-entry pops (heap). The exact
+    /// sorted list does no deferred work and never bumps this.
+    WheelCascades,
     /// Trace records logged through `TraceLog`.
     TraceRecords,
     /// Bytes encoded into ring buffers.
@@ -54,11 +58,12 @@ pub enum SimCounter {
 
 impl SimCounter {
     /// Every counter, in stable export order.
-    pub const ALL: [SimCounter; 14] = [
-        SimCounter::WheelInserts,
+    pub const ALL: [SimCounter; 15] = [
+        SimCounter::WheelSchedules,
         SimCounter::WheelCascadeMoves,
         SimCounter::WheelExpirations,
         SimCounter::WheelCancels,
+        SimCounter::WheelCascades,
         SimCounter::TraceRecords,
         SimCounter::TraceRingBytes,
         SimCounter::TraceRingDrops,
@@ -74,10 +79,11 @@ impl SimCounter {
     /// Stable metric name (Prometheus conventions).
     pub const fn name(self) -> &'static str {
         match self {
-            SimCounter::WheelInserts => "wheel_inserts_total",
+            SimCounter::WheelSchedules => "wheel_schedules_total",
             SimCounter::WheelCascadeMoves => "wheel_cascade_moves_total",
             SimCounter::WheelExpirations => "wheel_expirations_total",
             SimCounter::WheelCancels => "wheel_cancels_total",
+            SimCounter::WheelCascades => "wheel_cascades_total",
             SimCounter::TraceRecords => "trace_records_total",
             SimCounter::TraceRingBytes => "trace_ring_bytes_total",
             SimCounter::TraceRingDrops => "trace_ring_dropped_total",
@@ -299,18 +305,18 @@ mod tests {
     #[test]
     fn scoped_isolates_and_restores() {
         reset();
-        add(SimCounter::WheelInserts, 3);
+        add(SimCounter::WheelSchedules, 3);
         let ((), inner) = scoped(|| {
-            add(SimCounter::WheelInserts, 7);
+            add(SimCounter::WheelSchedules, 7);
             gauge_max(SimGauge::WheelPendingHigh, 10);
             observe(SimHist::NetRttMicros, 130_000);
         });
-        assert_eq!(inner.counter(SimCounter::WheelInserts), 7);
+        assert_eq!(inner.counter(SimCounter::WheelSchedules), 7);
         assert_eq!(inner.gauge(SimGauge::WheelPendingHigh), 10);
         assert_eq!(inner.hist(SimHist::NetRttMicros).count(), 1);
         // The outer accumulation now contains both.
         let outer = snapshot();
-        assert_eq!(outer.counter(SimCounter::WheelInserts), 10);
+        assert_eq!(outer.counter(SimCounter::WheelSchedules), 10);
         assert_eq!(outer.gauge(SimGauge::WheelPendingHigh), 10);
         reset();
     }
@@ -344,7 +350,7 @@ mod tests {
     fn disabled_records_nothing() {
         reset();
         crate::set_enabled(false);
-        add(SimCounter::WheelInserts, 1);
+        add(SimCounter::WheelSchedules, 1);
         observe(SimHist::NetRttMicros, 1);
         gauge_max(SimGauge::RingBytesHigh, 1);
         crate::set_enabled(true);

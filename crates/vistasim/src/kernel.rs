@@ -30,6 +30,9 @@ pub struct VistaConfig {
     /// Kernel background timer population intensity (sets/second order of
     /// magnitude; see [`KernelLoad`]).
     pub kernel_load: KernelLoadLevel,
+    /// Timer-queue structure for the KTIMER ring and the TCP wheel;
+    /// `Native` keeps both on their historical hashed rings.
+    pub backend: wheel::Backend,
 }
 
 /// How busy the kernel's own (driver/subsystem) timer population is.
@@ -50,6 +53,7 @@ impl Default for VistaConfig {
             dpc_cost: SimDuration::from_micros(4),
             call_cost: SimDuration::from_nanos(400),
             kernel_load: KernelLoadLevel::Idle,
+            backend: wheel::Backend::Native,
         }
     }
 }
@@ -141,9 +145,10 @@ impl VistaKernel {
         log.register_process(0, "System");
         log.register_process(4, "Idle");
         let resolution = cfg.clock_period;
+        let backend = cfg.backend;
         let mut kernel = VistaKernel {
             now: SimInstant::BOOT,
-            kt: KTimerTable::new(),
+            kt: KTimerTable::with_backend(backend),
             log,
             cpu: CpuMeter::new(),
             rng: rng.fork("vista"),
@@ -154,7 +159,7 @@ impl VistaKernel {
             win32: Win32Timers::default(),
             afd: AfdSelects::default(),
             nt: NtTimers::default(),
-            vtcp: VistaTcp::default(),
+            vtcp: VistaTcp::with_backend(backend),
             registry: RegistryLazyClose::default(),
             kernel_load: KernelLoad::default(),
             resolution,

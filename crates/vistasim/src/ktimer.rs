@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use simtime::{SimDuration, SimInstant};
 use trace::{Event, EventKind, OriginId, Pid, Space, Tid, TimerAddr, TraceLog};
-use wheel::{HashedWheel, TimerQueue};
+use wheel::{Backend, TimerQueue};
 
 /// Resolution quantum of the ring placement (the wheel's tick).
 pub const RING_QUANTUM: SimDuration = SimDuration::from_millis(1);
@@ -108,7 +108,7 @@ pub struct KtFired {
 #[derive(Debug)]
 pub struct KTimerTable {
     timers: HashMap<u64, KTimer>,
-    ring: HashedWheel,
+    ring: Box<dyn TimerQueue>,
     next_handle: u64,
     /// Pool-allocator address recycling: freed addresses are reused LIFO,
     /// mimicking lookaside lists.
@@ -123,11 +123,18 @@ impl Default for KTimerTable {
 }
 
 impl KTimerTable {
-    /// Creates an empty table.
+    /// Creates an empty table on the native (256-slot hashed ring)
+    /// structure — the NT kernel's timer ring.
     pub fn new() -> Self {
+        Self::with_backend(Backend::Native)
+    }
+
+    /// Creates a table whose ring comes from `backend`; `Native` selects
+    /// the NT kernel's 256-slot hashed ring.
+    pub fn with_backend(backend: Backend) -> Self {
         KTimerTable {
             timers: HashMap::new(),
-            ring: HashedWheel::new(256),
+            ring: backend.build(Backend::Hashed, 256),
             next_handle: 1,
             free_addrs: Vec::new(),
             next_addr: 0x8a00_0000_0000,

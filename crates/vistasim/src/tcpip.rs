@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use simtime::{SimDuration, SimInstant};
 use trace::{Pid, Space};
-use wheel::{HashedWheel, TimerQueue};
+use wheel::{Backend, TimerQueue};
 
 use crate::kernel::{VistaKernel, VistaNotify};
 use crate::ktimer::KtAction;
@@ -53,7 +53,7 @@ struct VConn {
 /// The per-CPU TCP timing wheel.
 #[derive(Debug)]
 pub struct VistaTcp {
-    wheel: HashedWheel,
+    wheel: Box<dyn TimerQueue>,
     entries: HashMap<u64, (u32, EntryKind)>,
     conns: HashMap<u32, VConn>,
     next_conn: u32,
@@ -65,8 +65,16 @@ pub struct VistaTcp {
 
 impl Default for VistaTcp {
     fn default() -> Self {
+        Self::with_backend(Backend::Native)
+    }
+}
+
+impl VistaTcp {
+    /// Creates the stack on `backend`; `Native` selects the re-architected
+    /// 512-slot per-CPU hashed wheel.
+    pub fn with_backend(backend: Backend) -> Self {
         VistaTcp {
-            wheel: HashedWheel::new(512),
+            wheel: backend.build(Backend::Hashed, 512),
             entries: HashMap::new(),
             conns: HashMap::new(),
             next_conn: 1,
@@ -75,9 +83,7 @@ impl Default for VistaTcp {
             booted: false,
         }
     }
-}
 
-impl VistaTcp {
     fn quantum_of(&self, now: SimInstant, rel: SimDuration) -> u64 {
         (now + rel).as_nanos().div_ceil(WHEEL_QUANTUM.as_nanos())
     }

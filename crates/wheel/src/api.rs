@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use telemetry::{sim, SimCounter, SimGauge};
+
 /// A discrete tick count.
 ///
 /// The Linux simulation uses jiffies (4 ms at HZ = 250); the Vista
@@ -29,7 +31,16 @@ pub type TimerId = u64;
 /// * [`advance_to`](TimerQueue::advance_to) moves the queue's notion of
 ///   "now" forward, invoking `fire` for every timer whose expiry tick is
 ///   `<= now`, in (expiry, insertion) order.
-pub trait TimerQueue {
+///
+/// # Firing order
+///
+/// Every implementation fires a timer at its *effective* tick — the armed
+/// expiry, or the tick after the arming instant for already-due timers —
+/// and, within one effective tick, in (armed expiry, insertion) order.
+/// Because this order is part of the contract, the backends are *exactly*
+/// interchangeable: swapping one for another cannot reorder a simulation's
+/// trace (`wheel/tests/equivalence.rs` pins this without normalisation).
+pub trait TimerQueue: std::fmt::Debug {
     /// Arms (or re-arms) timer `id` to fire at absolute tick `expires`.
     fn schedule(&mut self, id: TimerId, expires: Tick);
 
@@ -87,6 +98,10 @@ impl ActiveSet {
     }
 
     /// Registers (or re-registers) `id`, returning the new generation.
+    ///
+    /// Every backend arms through here, so the sim-plane schedule counter
+    /// and pending-high-watermark gauge are uniform across backends (and,
+    /// being plain counter bumps, consume no RNG draws).
     pub fn arm(&mut self, id: TimerId, expires: Tick, next_gen: &mut u64) -> u64 {
         *next_gen += 1;
         let generation = *next_gen;
@@ -97,12 +112,18 @@ impl ActiveSet {
                 generation,
             },
         );
+        sim::add(SimCounter::WheelSchedules, 1);
+        sim::gauge_max(SimGauge::WheelPendingHigh, self.entries.len() as u64);
         generation
     }
 
     /// Removes `id`; returns `true` if it was pending.
     pub fn disarm(&mut self, id: TimerId) -> bool {
-        self.entries.remove(&id).is_some()
+        let was_pending = self.entries.remove(&id).is_some();
+        if was_pending {
+            sim::add(SimCounter::WheelCancels, 1);
+        }
+        was_pending
     }
 
     /// Returns `true` if `id` is pending.
@@ -117,6 +138,7 @@ impl ActiveSet {
             Some(e) if e.generation == generation => {
                 let expires = e.expires;
                 self.entries.remove(&id);
+                sim::add(SimCounter::WheelExpirations, 1);
                 Some(expires)
             }
             _ => None,

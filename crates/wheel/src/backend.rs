@@ -1,0 +1,158 @@
+//! Runtime-pluggable timer-queue backend selection.
+//!
+//! The paper's kernels hard-wire their timer structure: Linux 2.6.23.9 uses
+//! the cascading hierarchical wheel, Vista's TCP/IP stack and kernel timer
+//! table use single-level hashed wheels. [`Backend`] turns that choice into
+//! data so an experiment spec can force every subsystem onto one structure
+//! — wheel, hashed ring, sorted callout list, or binary heap — and the
+//! equivalence suite can prove the traces do not change when it does.
+
+use crate::api::TimerQueue;
+use crate::hashed::HashedWheel;
+use crate::heap::HeapQueue;
+use crate::hierarchical::HierarchicalWheel;
+use crate::sortedlist::SortedList;
+
+/// Which timer-queue structure a simulated subsystem should use.
+///
+/// `Native` keeps each subsystem on the structure the real kernel used
+/// (hierarchical wheel for Linux timers, hashed rings for Vista); the other
+/// variants force every subsystem onto that one structure. Because the
+/// [`TimerQueue`] firing-order contract is exact, a forced backend changes
+/// only cost metrics, never the simulated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Per-subsystem historical default (what the paper's kernels shipped).
+    #[default]
+    Native,
+    /// Linux `kernel/timer.c` cascading hierarchical wheel.
+    Hierarchical,
+    /// Single-level hashed wheel (Varghese & Lauck scheme 6; Vista's ring).
+    Hashed,
+    /// Sorted callout list (the historical BSD baseline).
+    SortedList,
+    /// Binary min-heap with lazy deletion (the textbook priority queue).
+    Heap,
+}
+
+impl Backend {
+    /// The four concrete structures, in matrix order. `Native` is excluded:
+    /// it resolves to one of these per subsystem.
+    pub const FORCED: [Backend; 4] = [
+        Backend::Hierarchical,
+        Backend::Hashed,
+        Backend::SortedList,
+        Backend::Heap,
+    ];
+
+    /// Parses a CLI/Env spelling (`native`, `hierarchical`, `hashed`,
+    /// `sortedlist`, `heap`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "native" | "default" => Some(Backend::Native),
+            "hierarchical" | "wheel" => Some(Backend::Hierarchical),
+            "hashed" | "ring" => Some(Backend::Hashed),
+            "sortedlist" | "sorted" | "list" => Some(Backend::SortedList),
+            "heap" => Some(Backend::Heap),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (round-trips through [`Backend::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Native => "native",
+            Backend::Hierarchical => "hierarchical",
+            Backend::Hashed => "hashed",
+            Backend::SortedList => "sortedlist",
+            Backend::Heap => "heap",
+        }
+    }
+
+    /// Resolves `Native` to the given subsystem default; forced backends
+    /// stay themselves.
+    pub fn resolve(self, native: Backend) -> Backend {
+        debug_assert_ne!(
+            native,
+            Backend::Native,
+            "subsystem default must be concrete"
+        );
+        match self {
+            Backend::Native => native,
+            forced => forced,
+        }
+    }
+
+    /// Builds a queue for a subsystem whose historical structure is
+    /// `native` (with `slot_count` slots when that structure is a hashed
+    /// ring). A forced backend overrides the subsystem default.
+    pub fn build(self, native: Backend, slot_count: usize) -> Box<dyn TimerQueue> {
+        match self.resolve(native) {
+            Backend::Native => unreachable!("resolve() never returns Native"),
+            Backend::Hierarchical => Box::new(HierarchicalWheel::new()),
+            Backend::Hashed => Box::new(HashedWheel::new(slot_count)),
+            Backend::SortedList => Box::new(SortedList::new()),
+            Backend::Heap => Box::new(HeapQueue::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Backend::parse(s).ok_or_else(|| {
+            format!("unknown wheel backend {s:?} (expected native, hierarchical, hashed, sortedlist, or heap)")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for b in [Backend::Native, Backend::Hierarchical, Backend::Hashed]
+            .into_iter()
+            .chain([Backend::SortedList, Backend::Heap])
+        {
+            assert_eq!(Backend::parse(b.label()), Some(b));
+            assert_eq!(b.label().parse::<Backend>().unwrap(), b);
+        }
+        assert_eq!(Backend::parse("WHEEL"), Some(Backend::Hierarchical));
+        assert_eq!(Backend::parse("bogus"), None);
+        assert!("bogus".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn native_resolves_to_subsystem_default() {
+        assert_eq!(Backend::Native.resolve(Backend::Hashed), Backend::Hashed);
+        assert_eq!(Backend::Heap.resolve(Backend::Hierarchical), Backend::Heap);
+    }
+
+    #[test]
+    fn build_produces_working_queues() {
+        for forced in Backend::FORCED {
+            let mut q = forced.build(Backend::Hierarchical, 256);
+            q.schedule(1, 10);
+            q.schedule(2, 5);
+            let mut fired = Vec::new();
+            q.advance_to(10, &mut |id, exp| fired.push((id, exp)));
+            assert_eq!(fired, vec![(2, 5), (1, 10)], "backend {forced}");
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn forced_list_excludes_native() {
+        assert!(!Backend::FORCED.contains(&Backend::Native));
+        assert_eq!(Backend::default(), Backend::Native);
+    }
+}

@@ -12,6 +12,8 @@
 //! so pathological workloads (many long timers in one slot) degrade
 //! gracefully rather than catastrophically.
 
+use telemetry::{sim, SimCounter};
+
 use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
 
 /// One slot entry: timer id and insertion generation.
@@ -69,24 +71,34 @@ impl HashedWheel {
         let index = (tick & self.mask) as usize;
         let entries = std::mem::take(&mut self.slots[index]);
         let mut retained = Vec::new();
+        // Slot order is hash-bucket insertion order, which interleaves
+        // multi-revolution survivors with freshly hashed entries; sort the
+        // due set into the contract's (expiry, insertion) order before
+        // firing (the generation stamp is the insertion sequence).
+        let mut due: Vec<(Tick, u64, TimerId)> = Vec::new();
         for slot in entries {
             match self.active.get(slot.id) {
                 Some(entry) if entry.generation == slot.generation => {
                     if entry.expires <= tick {
-                        let expires = self
-                            .active
-                            .take_if_live(slot.id, slot.generation)
-                            .expect("entry verified live");
-                        fire(slot.id, expires);
+                        due.push((entry.expires, slot.generation, slot.id));
                     } else {
                         // Not due for another revolution; keep it.
                         self.revisits += 1;
+                        sim::add(SimCounter::WheelCascades, 1);
                         retained.push(slot);
                     }
                 }
                 // Stale (cancelled or moved): drop silently.
                 _ => {}
             }
+        }
+        due.sort_unstable();
+        for (_, generation, id) in due {
+            let expires = self
+                .active
+                .take_if_live(id, generation)
+                .expect("entry verified live");
+            fire(id, expires);
         }
         // Preserve FIFO order for retained entries ahead of newly inserted
         // ones added while firing callbacks ran.

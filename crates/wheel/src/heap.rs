@@ -10,10 +10,15 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use telemetry::{sim, SimCounter};
+
 use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
 
-/// Heap entry ordered by (expiry, insertion sequence) for FIFO ties.
-type Entry = Reverse<(Tick, u64, TimerId)>;
+/// Heap entry ordered by (effective fire tick, armed expiry, insertion
+/// sequence): past-due timers share an effective tick with timers armed
+/// exactly for it, and the contract fires them in (expiry, insertion)
+/// order within that tick.
+type Entry = Reverse<(Tick, Tick, u64, TimerId)>;
 
 /// A binary-heap timer queue.
 #[derive(Debug, Default)]
@@ -46,7 +51,8 @@ impl TimerQueue for HeapQueue {
         // A timer armed in the past still fires no earlier than the next
         // tick; record the effective tick so ordering matches the wheels.
         let effective = expires.max(self.current + 1);
-        self.heap.push(Reverse((effective, generation, id)));
+        self.heap
+            .push(Reverse((effective, expires, generation, id)));
     }
 
     fn cancel(&mut self, id: TimerId) -> bool {
@@ -59,13 +65,17 @@ impl TimerQueue for HeapQueue {
 
     fn advance_to(&mut self, now: Tick, fire: &mut dyn FnMut(TimerId, Tick)) {
         self.current = now;
-        while let Some(&Reverse((tick, generation, id))) = self.heap.peek() {
+        while let Some(&Reverse((tick, _, generation, id))) = self.heap.peek() {
             if tick > now {
                 break;
             }
             self.heap.pop();
             if let Some(expires) = self.active.take_if_live(id, generation) {
                 fire(id, expires);
+            } else {
+                // A stale entry (cancelled or moved) surfacing at the top
+                // is the heap's deferred-maintenance cost.
+                sim::add(SimCounter::WheelCascades, 1);
             }
         }
     }

@@ -15,7 +15,7 @@
 //! cascades do bursty work — both measured in the `wheel_ops` benchmark.
 
 use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
-use telemetry::{sim, Counter, SimCounter, SimGauge, SimHist};
+use telemetry::{sim, Counter, SimCounter, SimHist};
 
 /// Bits of the base-level wheel (256 slots of one tick each).
 const TVR_BITS: u32 = 8;
@@ -142,6 +142,7 @@ impl HierarchicalWheel {
         }
         if moved > 0 {
             self.cascade_moves.add(moved);
+            sim::add(SimCounter::WheelCascades, moved);
         }
         if drained > 0 {
             sim::observe(SimHist::WheelCascadeBatch, moved);
@@ -167,15 +168,25 @@ impl HierarchicalWheel {
         }
         self.current = tick;
         let entries = std::mem::take(&mut self.tv1[index]);
-        let mut fired = 0u64;
-        for slot in entries {
-            if let Some(expires) = self.active.take_if_live(slot.id, slot.generation) {
-                fired += 1;
-                fire(slot.id, expires);
+        // The slot mixes directly-inserted, cascaded and past-due entries,
+        // whose list positions do not reflect the contract's (expiry,
+        // insertion) order — a past-due timer lands *behind* entries armed
+        // earlier for exactly this tick. Collect the live ones and sort;
+        // the generation stamp is the global insertion sequence.
+        let mut due: Vec<(Tick, u64, TimerId)> = entries
+            .into_iter()
+            .filter_map(|slot| {
+                self.active
+                    .get(slot.id)
+                    .filter(|e| e.generation == slot.generation)
+                    .map(|e| (e.expires, slot.generation, slot.id))
+            })
+            .collect();
+        due.sort_unstable();
+        for (_, generation, id) in due {
+            if let Some(expires) = self.active.take_if_live(id, generation) {
+                fire(id, expires);
             }
-        }
-        if fired > 0 {
-            sim::add(SimCounter::WheelExpirations, fired);
         }
     }
 }
@@ -186,18 +197,12 @@ impl TimerQueue for HierarchicalWheel {
         let generation = self.active.arm(id, expires, &mut gen_counter);
         self.gen_counter = gen_counter;
         self.internal_add(id, generation, expires);
-        sim::add(SimCounter::WheelInserts, 1);
-        sim::gauge_max(SimGauge::WheelPendingHigh, self.active.len() as u64);
     }
 
     fn cancel(&mut self, id: TimerId) -> bool {
         // Lazy deletion: the slot entry stays behind but its generation is
         // now unreachable, so it is skipped (and dropped) when visited.
-        let cancelled = self.active.disarm(id);
-        if cancelled {
-            sim::add(SimCounter::WheelCancels, 1);
-        }
-        cancelled
+        self.active.disarm(id)
     }
 
     fn is_pending(&self, id: TimerId) -> bool {

@@ -18,16 +18,22 @@
 //! * [`SortedList`] — a sorted vector, the historical BSD `callout` list
 //!   baseline (O(n) set, O(1) pop).
 //!
-//! All four are deterministic: timers scheduled for the same tick fire in
-//! the order they were scheduled (FIFO), mirroring kernel behaviour.
+//! All four are deterministic and share one exact firing-order contract:
+//! a timer fires at its effective tick, and timers due on the same tick
+//! fire in (armed expiry, insertion) order. Because the contract is exact,
+//! the structures are interchangeable at runtime via [`Backend`], which the
+//! simulated kernels use to take their timer queue from the experiment
+//! spec instead of hard-wiring it.
 
 pub mod api;
+pub mod backend;
 pub mod hashed;
 pub mod heap;
 pub mod hierarchical;
 pub mod sortedlist;
 
 pub use api::{Tick, TimerId, TimerQueue};
+pub use backend::Backend;
 pub use hashed::HashedWheel;
 pub use heap::HeapQueue;
 pub use hierarchical::HierarchicalWheel;

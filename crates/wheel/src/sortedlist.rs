@@ -11,8 +11,11 @@ use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
 /// A sorted-vector timer queue.
 #[derive(Debug, Default)]
 pub struct SortedList {
-    /// Entries sorted by (tick, sequence); the front is the earliest.
-    entries: Vec<(Tick, u64, TimerId)>,
+    /// Entries sorted by (effective fire tick, armed expiry, sequence);
+    /// the front is the earliest. Carrying the armed expiry in the key
+    /// puts past-due timers ahead of timers armed exactly for their
+    /// effective tick — the contract's (expiry, insertion) order.
+    entries: Vec<(Tick, Tick, u64, TimerId)>,
     active: ActiveSet,
     gen_counter: u64,
     current: Tick,
@@ -30,20 +33,20 @@ impl TimerQueue for SortedList {
         // Eager removal of any previous entry: the list stays exact, which
         // is what makes it O(n) and the honest baseline.
         if self.active.is_pending(id) {
-            self.entries.retain(|&(_, _, eid)| eid != id);
+            self.entries.retain(|&(_, _, _, eid)| eid != id);
         }
         let mut gen_counter = self.gen_counter;
         let generation = self.active.arm(id, expires, &mut gen_counter);
         self.gen_counter = gen_counter;
         let effective = expires.max(self.current + 1);
-        let key = (effective, generation, id);
+        let key = (effective, expires, generation, id);
         let pos = self.entries.partition_point(|e| *e <= key);
         self.entries.insert(pos, key);
     }
 
     fn cancel(&mut self, id: TimerId) -> bool {
         if self.active.disarm(id) {
-            self.entries.retain(|&(_, _, eid)| eid != id);
+            self.entries.retain(|&(_, _, _, eid)| eid != id);
             true
         } else {
             false
@@ -58,7 +61,7 @@ impl TimerQueue for SortedList {
         self.current = now;
         loop {
             match self.entries.first() {
-                Some(&(tick, generation, id)) if tick <= now => {
+                Some(&(tick, _, generation, id)) if tick <= now => {
                     self.entries.remove(0);
                     if let Some(expires) = self.active.take_if_live(id, generation) {
                         fire(id, expires);

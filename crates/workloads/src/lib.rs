@@ -87,15 +87,28 @@ pub fn run_linux_faulted(
     sink: Box<dyn TraceSink>,
     net: NetFault,
 ) -> linuxsim::LinuxKernel {
+    run_linux_backend(workload, seed, duration, sink, net, wheel::Backend::Native)
+}
+
+/// [`run_linux_faulted`] with the kernel's timer queue taken from
+/// `backend` (`Native` keeps the hierarchical cascading wheel).
+pub fn run_linux_backend(
+    workload: Workload,
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+    backend: wheel::Backend,
+) -> linuxsim::LinuxKernel {
     match workload {
-        Workload::Idle => linux::idle::run(seed, duration, sink),
-        Workload::Firefox => linux::firefox::run(seed, duration, sink, net),
-        Workload::Skype => linux::skype::run(seed, duration, sink, net),
-        Workload::Webserver => linux::webserver::run(seed, duration, sink, net),
+        Workload::Idle => linux::idle::run(seed, duration, sink, backend),
+        Workload::Firefox => linux::firefox::run(seed, duration, sink, net, backend),
+        Workload::Skype => linux::skype::run(seed, duration, sink, net, backend),
+        Workload::Webserver => linux::webserver::run(seed, duration, sink, net, backend),
         Workload::Outlook => {
             // Figure 1 is a Vista-only measurement; on Linux it degrades
             // to the idle desktop.
-            linux::idle::run(seed, duration, sink)
+            linux::idle::run(seed, duration, sink, backend)
         }
     }
 }
@@ -120,11 +133,24 @@ pub fn run_vista_faulted(
     sink: Box<dyn TraceSink>,
     net: NetFault,
 ) -> vistasim::VistaKernel {
+    run_vista_backend(workload, seed, duration, sink, net, wheel::Backend::Native)
+}
+
+/// [`run_vista_faulted`] with the kernel's timer queues taken from
+/// `backend` (`Native` keeps the hashed KTIMER ring and TCP wheel).
+pub fn run_vista_backend(
+    workload: Workload,
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+    backend: wheel::Backend,
+) -> vistasim::VistaKernel {
     match workload {
-        Workload::Idle => vista::idle::run(seed, duration, sink),
-        Workload::Firefox => vista::firefox::run(seed, duration, sink),
-        Workload::Skype => vista::skype::run(seed, duration, sink, net),
-        Workload::Webserver => vista::webserver::run(seed, duration, sink, net),
-        Workload::Outlook => vista::outlook::run(seed, duration, sink),
+        Workload::Idle => vista::idle::run(seed, duration, sink, backend),
+        Workload::Firefox => vista::firefox::run(seed, duration, sink, backend),
+        Workload::Skype => vista::skype::run(seed, duration, sink, net, backend),
+        Workload::Webserver => vista::webserver::run(seed, duration, sink, net, backend),
+        Workload::Outlook => vista::outlook::run(seed, duration, sink, backend),
     }
 }

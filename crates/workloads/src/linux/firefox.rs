@@ -111,9 +111,11 @@ pub fn run(
     duration: SimDuration,
     sink: Box<dyn TraceSink>,
     net: NetFault,
+    backend: wheel::Backend,
 ) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
+        backend,
         ..LinuxConfig::default()
     };
     let mut kernel = LinuxKernel::new(cfg, sink);

@@ -53,9 +53,15 @@ impl LinuxWorld for IdleWorld {
 }
 
 /// Runs the idle workload for `duration`.
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> LinuxKernel {
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    backend: wheel::Backend,
+) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
+        backend,
         ..LinuxConfig::default()
     };
     let mut kernel = LinuxKernel::new(cfg, sink);

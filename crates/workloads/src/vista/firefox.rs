@@ -79,9 +79,15 @@ fn schedule_fetch(driver: &mut VistaDriver<FirefoxWorld>) {
 }
 
 /// Runs the Vista Firefox workload.
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> VistaKernel {
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    backend: wheel::Backend,
+) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
+        backend,
         ..VistaConfig::default()
     };
     let mut kernel = VistaKernel::new(cfg, sink);

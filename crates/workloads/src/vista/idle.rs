@@ -30,9 +30,15 @@ impl VistaWorld for IdleWorld {
 }
 
 /// Runs the Vista idle workload.
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> VistaKernel {
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    backend: wheel::Backend,
+) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
+        backend,
         ..VistaConfig::default()
     };
     let kernel = VistaKernel::new(cfg, sink);

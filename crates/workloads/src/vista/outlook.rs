@@ -115,10 +115,16 @@ fn browser_activity(driver: &mut VistaDriver<OutlookWorld>) {
 }
 
 /// Runs the Figure 1 desktop (typically for a 90-second excerpt).
-pub fn run(seed: u64, duration: SimDuration, sink: Box<dyn TraceSink>) -> VistaKernel {
+pub fn run(
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    backend: wheel::Backend,
+) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
         kernel_load: KernelLoadLevel::Desktop,
+        backend,
         ..VistaConfig::default()
     };
     let mut kernel = VistaKernel::new(cfg, sink);

@@ -119,9 +119,11 @@ pub fn run(
     duration: SimDuration,
     sink: Box<dyn TraceSink>,
     net: NetFault,
+    backend: wheel::Backend,
 ) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
+        backend,
         ..VistaConfig::default()
     };
     let mut kernel = VistaKernel::new(cfg, sink);

@@ -1,0 +1,94 @@
+//! Figure-level cross-backend oracle: forcing every simulated subsystem
+//! onto any of the four timer-queue structures must leave each rendered
+//! table and figure — and its CSV payload — byte-identical to the native
+//! run's. This is the end-to-end half of the equivalence matrix; the
+//! structure-level half is `crates/wheel/tests/equivalence.rs`.
+//!
+//! Sim metrics are deliberately *not* asserted identical: the backends
+//! agree on every observable the figures are built from, but their
+//! internal-churn counter (`wheel_cascades_total`) is backend-specific.
+
+use simtime::SimDuration;
+use telemetry::SimCounter;
+use timerstudy::figures::reproduce_all_backend_with_results;
+use timerstudy::Backend;
+
+const SECS: u64 = 12;
+const SEED: u64 = 7;
+
+#[test]
+fn all_backends_render_byte_identical_figures() {
+    let duration = SimDuration::from_secs(SECS);
+    let (native_results, native) =
+        reproduce_all_backend_with_results(duration, SEED, Backend::Native);
+    let native_counter =
+        |c: SimCounter| -> u64 { native_results.iter().map(|r| r.metrics.counter(c)).sum() };
+    assert!(
+        native_counter(SimCounter::WheelSchedules) > 0,
+        "the wheel counters must be live for the matrix to mean anything"
+    );
+
+    for backend in Backend::FORCED {
+        let (results, artifacts) = reproduce_all_backend_with_results(duration, SEED, backend);
+        assert_eq!(
+            native.len(),
+            artifacts.len(),
+            "backend {} produced a different artifact set",
+            backend.label()
+        );
+        for (n, a) in native.iter().zip(&artifacts) {
+            assert_eq!(
+                n.title,
+                a.title,
+                "backend {} artifact order",
+                backend.label()
+            );
+            assert_eq!(
+                n.printable(),
+                a.printable(),
+                "backend {} diverged on '{}'",
+                backend.label(),
+                n.title
+            );
+            assert_eq!(
+                n.csv,
+                a.csv,
+                "backend {} CSV diverged on '{}'",
+                backend.label(),
+                n.title
+            );
+        }
+
+        // The externally-observable timer traffic is identical; only the
+        // structure-internal churn counter may differ.
+        for c in [
+            SimCounter::WheelSchedules,
+            SimCounter::WheelCancels,
+            SimCounter::WheelExpirations,
+        ] {
+            let forced: u64 = results.iter().map(|r| r.metrics.counter(c)).sum();
+            assert_eq!(
+                native_counter(c),
+                forced,
+                "backend {} changed {:?}",
+                backend.label(),
+                c
+            );
+        }
+    }
+}
+
+#[test]
+fn forced_backend_results_carry_backend_in_spec() {
+    let duration = SimDuration::from_secs(2);
+    let (results, _) = reproduce_all_backend_with_results(duration, SEED, Backend::SortedList);
+    assert!(!results.is_empty());
+    for r in &results {
+        assert_eq!(r.spec.backend, Backend::SortedList);
+        assert!(
+            timerstudy::spec_label(&r.spec).ends_with("backend=sortedlist"),
+            "label must name the forced backend: {}",
+            timerstudy::spec_label(&r.spec)
+        );
+    }
+}
