@@ -1,0 +1,108 @@
+//! Cost profile of the sharded per-CPU timer bases.
+//!
+//! Three axes, each swept over shard counts with the hierarchical wheel
+//! as the per-base inner structure: pure schedule throughput (home-hash
+//! placement), a drain-heavy advance (the lockstep per-base advance plus
+//! the merge sort that restores global firing order), and a re-arm storm
+//! from rotating CPUs (every re-arm migrates the timer between bases —
+//! the `mod_timer`-from-another-CPU path the million-connection Apache
+//! run hammers). The single-shard wrapper is included so the sharding
+//! overhead over the bare structure is visible directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simtime::SimRng;
+use wheel::{Backend, TimerQueue};
+
+const SHARD_COUNTS: [u16; 4] = [1, 2, 4, 8];
+const TIMERS: u64 = 65_536;
+
+fn fresh(shards: u16) -> Box<dyn TimerQueue> {
+    Backend::Hierarchical
+        .with_shards(shards)
+        .build(Backend::Hierarchical, 256)
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_sharded_schedule");
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut q = fresh(shards);
+                    let mut rng = SimRng::new(1);
+                    for i in 0..TIMERS {
+                        q.schedule(i, 1 + rng.range_u64(0, 100_000));
+                    }
+                    q.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_advance_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_sharded_advance");
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut q = fresh(shards);
+                    let mut rng = SimRng::new(1);
+                    for i in 0..TIMERS {
+                        q.schedule(i, 1 + rng.range_u64(0, 100_000));
+                    }
+                    let mut fired = 0u64;
+                    let mut now = 0;
+                    while now < 100_001 {
+                        now += 1_000;
+                        q.advance_to(now, &mut |_, _| fired += 1);
+                    }
+                    fired
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Every pending timer re-armed from a different CPU each round: the
+/// pure migration path (detach from one base, enqueue on another).
+fn bench_migrate_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_sharded_migrate");
+    for shards in SHARD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut q = fresh(shards);
+                    let mut rng = SimRng::new(1);
+                    for i in 0..8_192u64 {
+                        q.schedule(i, 1 + rng.range_u64(0, 100_000));
+                    }
+                    for round in 0..8u64 {
+                        for i in 0..8_192u64 {
+                            q.set_context_cpu(Some(((i + round) % shards.max(1) as u64) as u32));
+                            q.schedule(i, 200_000 + round);
+                        }
+                    }
+                    q.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule,
+    bench_advance_drain,
+    bench_migrate_storm
+);
+criterion_main!(benches);

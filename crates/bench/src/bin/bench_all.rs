@@ -1,0 +1,234 @@
+//! The recorded performance trajectory: one bin, every hot path.
+//!
+//! Criterion gives interactive statistics, but nothing in the repo
+//! remembered how fast the hot paths *were* — so regressions could land
+//! silently. This bin times a fixed micro-suite (timer-queue structures,
+//! flat and sharded; the streaming-analysis event path) with hand-rolled
+//! best-of-N wall timing and emits a `{name: ns_per_op}` map:
+//!
+//! - `bench_all --write[=PATH]` records the baseline (default
+//!   `BENCH_baseline.json`, committed at the repo root);
+//! - `bench_all --check[=PATH]` re-runs the suite and fails (exit 1) if
+//!   any benchmark runs slower than the recorded baseline by more than
+//!   the tolerance factor — loose (8×) because CI machines differ from
+//!   the machine that recorded the baseline; the gate is for
+//!   order-of-magnitude regressions (an accidental O(n²), a lost cache),
+//!   not percent-level noise;
+//! - with no flag it just prints the table.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use simtime::SimRng;
+use wheel::{Backend, TimerQueue};
+
+/// A slower-than-baseline run fails `--check` past this factor.
+const TOLERANCE: f64 = 8.0;
+const DEFAULT_PATH: &str = "BENCH_baseline.json";
+
+/// Best-of-N wall time for `f`, which performs `ops` operations per
+/// call. One untimed warmup call amortises allocator and cache effects.
+fn time_ns_per_op(ops: u64, mut f: impl FnMut() -> u64) -> f64 {
+    let mut sink = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        sink = sink.wrapping_add(f());
+        let elapsed = started.elapsed().as_nanos() as f64;
+        best = best.min(elapsed / ops as f64);
+    }
+    // Keep the side effect alive without `black_box`.
+    if sink == u64::MAX {
+        eprintln!("(unreachable sink note)");
+    }
+    best
+}
+
+fn queue(backend: Backend) -> Box<dyn TimerQueue> {
+    backend.build(Backend::Hierarchical, 256)
+}
+
+/// Schedule-then-drain on one backend: the simulator's dominant mix.
+fn bench_queue_mix(backend: Backend) -> f64 {
+    const N: u64 = 32_768;
+    time_ns_per_op(2 * N, || {
+        let mut q = queue(backend);
+        let mut rng = SimRng::new(1);
+        for i in 0..N {
+            q.schedule(i, 1 + rng.range_u64(0, 100_000));
+        }
+        let mut fired = 0u64;
+        q.advance_to(100_001, &mut |_, _| fired += 1);
+        fired
+    })
+}
+
+/// The cross-base migration path: every re-arm comes from a rotated CPU.
+fn bench_sharded_migrate(shards: u16) -> f64 {
+    const N: u64 = 8_192;
+    const ROUNDS: u64 = 8;
+    time_ns_per_op(N * ROUNDS, || {
+        let mut q = queue(Backend::Hierarchical.with_shards(shards));
+        let mut rng = SimRng::new(1);
+        for i in 0..N {
+            q.schedule(i, 1 + rng.range_u64(0, 100_000));
+        }
+        for round in 0..ROUNDS {
+            for i in 0..N {
+                q.set_context_cpu(Some(((i + round) % shards.max(1) as u64) as u32));
+                q.schedule(i, 200_000 + round);
+            }
+        }
+        q.len() as u64
+    })
+}
+
+/// The streaming analyzer's per-event cost on a synthetic trace chunk.
+fn bench_analysis_chunk() -> f64 {
+    use analysis::EventVisitor;
+    use trace::{Event, EventKind};
+    const N: u64 = 65_536;
+    let origin = {
+        let mut log = trace::TraceLog::new(Box::new(trace::NullSink));
+        log.intern("bench:origin")
+    };
+    let events: Vec<Event> = (0..N)
+        .map(|i| {
+            let at = simtime::SimInstant::BOOT + simtime::SimDuration::from_micros(i * 7);
+            Event::new(at, EventKind::Set, i % 512, origin)
+                .with_expires(at + simtime::SimDuration::from_millis(1 + i % 90))
+                .with_task(100, 100, trace::Space::User)
+        })
+        .collect();
+    time_ns_per_op(N, || {
+        let mut analyzer = analysis::TraceAnalyzer::new(analysis::AnalyzerConfig::linux());
+        for chunk in events.chunks(4096) {
+            analyzer.visit_chunk(chunk);
+        }
+        events.len() as u64
+    })
+}
+
+fn run_suite() -> BTreeMap<String, f64> {
+    let mut results = BTreeMap::new();
+    for backend in Backend::FORCED {
+        results.insert(
+            format!("queue_mix/{}", backend.label()),
+            bench_queue_mix(backend),
+        );
+    }
+    for shards in [1u16, 4, 8] {
+        results.insert(
+            format!(
+                "queue_mix/{}",
+                Backend::Hierarchical.with_shards(shards).label()
+            ),
+            bench_queue_mix(Backend::Hierarchical.with_shards(shards)),
+        );
+        results.insert(
+            format!("sharded_migrate/{shards}"),
+            bench_sharded_migrate(shards),
+        );
+    }
+    results.insert("analysis_chunk".to_string(), bench_analysis_chunk());
+    results
+}
+
+fn to_json(results: &BTreeMap<String, f64>) -> String {
+    // Round to 0.1 ns so re-recorded baselines diff cleanly.
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (name, ns) in results {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{name}\": {:.1}", ns));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses the flat `{ "name": ns, ... }` object [`to_json`] emits. Names
+/// may contain `:` (backend labels), so the split point is the colon
+/// *after* the closing quote, not the first one on the line.
+fn parse_baseline(text: &str) -> Option<BTreeMap<String, f64>> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = BTreeMap::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line.strip_prefix('"')?;
+        let (name, value) = rest.split_once('"')?;
+        let ns: f64 = value.trim().strip_prefix(':')?.trim().parse().ok()?;
+        out.insert(name.to_string(), ns);
+    }
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_path = |flag: &str| -> Option<String> {
+        args.iter().find_map(|a| {
+            if a == flag {
+                Some(DEFAULT_PATH.to_string())
+            } else {
+                a.strip_prefix(&format!("{flag}=")).map(str::to_owned)
+            }
+        })
+    };
+    let write = flag_path("--write");
+    let check = flag_path("--check");
+
+    eprintln!("running the bench_all micro-suite...");
+    let results = run_suite();
+    for (name, ns) in &results {
+        println!("{name}: {ns:.1} ns/op");
+    }
+
+    if let Some(path) = write {
+        std::fs::write(&path, to_json(&results)).expect("write baseline");
+        eprintln!("baseline written to {path}");
+    }
+    if let Some(path) = check {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline = parse_baseline(&text).expect("baseline is a {name: ns} JSON object");
+        let mut failed = false;
+        for (name, &ns) in &results {
+            match baseline.get(name) {
+                Some(&base) if ns > base * TOLERANCE => {
+                    eprintln!(
+                        "FAIL: {name} regressed {:.1}x over baseline ({ns:.1} vs {base:.1} ns/op)",
+                        ns / base
+                    );
+                    failed = true;
+                }
+                Some(&base) => {
+                    eprintln!(
+                        "ok: {name} {ns:.1} ns/op (baseline {base:.1}, {:.2}x)",
+                        ns / base
+                    );
+                }
+                None => {
+                    eprintln!("note: {name} has no baseline entry; re-record with --write");
+                }
+            }
+        }
+        for name in baseline.keys() {
+            if !results.contains_key(name) {
+                eprintln!("FAIL: baseline entry {name} no longer benchmarked");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_all: all {} benchmarks within {TOLERANCE}x of baseline",
+            results.len()
+        );
+    }
+}

@@ -29,11 +29,18 @@
 //!
 //! `--wheel-backend NAME|all` forces every simulated subsystem's timer
 //! queue onto one structure (`hierarchical`, `hashed`, `sortedlist`,
-//! `heap`; `native` keeps each kernel's historical one). With `all`, the
-//! whole figure pipeline runs once per backend, the artifacts are
-//! asserted byte-identical to the native run's, and a per-backend run
-//! summary with the wheel counters (`wheel_schedules`, `wheel_cancels`,
-//! `wheel_cascades`) is printed — the cross-backend equivalence matrix.
+//! `heap`, `sharded[:N][:INNER]`; `native` keeps each kernel's
+//! historical one). With `all`, the whole figure pipeline runs once per
+//! backend — the four flat structures plus the sharded matrix — the
+//! artifacts are asserted byte-identical to the native run's, and a
+//! per-backend run summary with the wheel counters (`wheel_schedules`,
+//! `wheel_cancels`, `wheel_cascades`) is printed — the cross-backend
+//! equivalence matrix.
+//!
+//! `--shards N` splits every timer queue into `N` per-CPU bases (the
+//! selected `--wheel-backend` structure, or the native one, becomes the
+//! per-base inner structure). Sharding never changes the trace: the
+//! artifacts are byte-identical across any `N`.
 
 use timerstudy::experiment::repro_duration;
 use timerstudy::{Backend, FaultSpec};
@@ -70,11 +77,30 @@ fn backend_mode(args: &[String]) -> BackendMode {
             None => {
                 eprintln!(
                     "--wheel-backend {name}: expected native, hierarchical, hashed, \
-                     sortedlist, heap, or all"
+                     sortedlist, heap, sharded[:N][:INNER], or all"
                 );
                 std::process::exit(2);
             }
         },
+    }
+}
+
+/// Parses `--shards N` / `--shards=N`.
+fn shard_count(args: &[String]) -> Option<u16> {
+    let value = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--shards=").map(str::to_owned))
+        })?;
+    match value.parse::<u16>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("--shards {value}: expected an integer >= 1");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -160,7 +186,15 @@ fn main() {
         eprintln!("--collected and --faults are mutually exclusive");
         std::process::exit(2);
     }
-    let backend = backend_mode(&args);
+    let backend = match (shard_count(&args), backend_mode(&args)) {
+        (None, mode) => mode,
+        (Some(n), BackendMode::Default) => BackendMode::One(Backend::Native.with_shards(n)),
+        (Some(n), BackendMode::One(b)) => BackendMode::One(b.with_shards(n)),
+        (Some(_), BackendMode::All) => {
+            eprintln!("--shards cannot be combined with --wheel-backend=all (the matrix already varies shard counts)");
+            std::process::exit(2);
+        }
+    };
     if backend != BackendMode::Default && (collected || serial || !faults.is_none()) {
         eprintln!("--wheel-backend runs on the cached parallel path; it cannot be combined with --serial, --collected, or --faults");
         std::process::exit(2);
@@ -220,10 +254,14 @@ fn main() {
             BackendMode::All => {
                 // The matrix: native first (its artifacts are the run's
                 // stdout and the comparison baseline), then every forced
-                // backend, each asserted byte-identical.
+                // backend — flat and sharded — each asserted
+                // byte-identical.
                 let mut all_results = Vec::new();
                 let mut baseline: Option<Vec<timerstudy::figures::Artifact>> = None;
-                for b in std::iter::once(Backend::Native).chain(Backend::FORCED) {
+                for b in std::iter::once(Backend::Native)
+                    .chain(Backend::FORCED)
+                    .chain(Backend::SHARDED_MATRIX)
+                {
                     let (results, artifacts) =
                         timerstudy::figures::reproduce_all_backend_with_results(duration, SEED, b);
                     backend_summaries.push(format!(
@@ -250,8 +288,9 @@ fn main() {
                     }
                 }
                 eprintln!(
-                    "backend matrix: artifacts byte-identical across native and {} forced backends",
-                    Backend::FORCED.len()
+                    "backend matrix: artifacts byte-identical across native, {} forced, and {} sharded backends",
+                    Backend::FORCED.len(),
+                    Backend::SHARDED_MATRIX.len()
                 );
                 (
                     "backend_matrix",

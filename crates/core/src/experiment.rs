@@ -79,6 +79,16 @@ impl ExperimentSpec {
         self
     }
 
+    /// The same experiment with its timer queues sharded into `shards`
+    /// per-CPU bases (the current backend becomes the per-base inner
+    /// structure). Part of the cache key: runs at different base counts
+    /// produce identical reports but distinct placement/migration
+    /// metrics, so they must never alias in the memo table.
+    pub const fn with_shards(mut self, shards: u16) -> Self {
+        self.backend = self.backend.with_shards(shards);
+        self
+    }
+
     /// The spec for one trial of a multi-trial run: same parameters, with
     /// the seed derived via [`workloads::trial_seed`] (trial 0 keeps the
     /// base seed). Stable regardless of the order trials are launched in.

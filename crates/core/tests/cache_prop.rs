@@ -220,6 +220,50 @@ proptest! {
         prop_assert_eq!(map.get(&spec.with_faults(b)).copied(), Some("b"));
     }
 
+    /// Shard count is part of the cache key: the same inner structure at
+    /// different per-CPU base counts never shares an entry (reports are
+    /// identical across counts, but the placement/migration metrics are
+    /// not), and sharding forks the key from the flat spec — including
+    /// the degenerate single-base wrapper.
+    #[test]
+    fn distinct_shard_counts_key_distinct_entries(spec in spec_strategy()) {
+        let mut map: HashMap<ExperimentSpec, &str> = HashMap::new();
+        map.insert(spec, "flat");
+        map.insert(spec.with_shards(1), "n1");
+        map.insert(spec.with_shards(2), "n2");
+        map.insert(spec.with_shards(4), "n4");
+        map.insert(spec.with_shards(8), "n8");
+        prop_assert_eq!(map.len(), 5);
+        prop_assert_eq!(map.get(&spec).copied(), Some("flat"));
+        prop_assert_eq!(map.get(&spec.with_shards(4)).copied(), Some("n4"));
+
+        // The same holds when a forced inner structure is sharded.
+        let heap = spec.with_backend(Backend::Heap);
+        let mut forced: HashMap<ExperimentSpec, &str> = HashMap::new();
+        forced.insert(heap, "flat");
+        forced.insert(heap.with_shards(2), "n2");
+        forced.insert(heap.with_shards(4), "n4");
+        prop_assert_eq!(forced.len(), 3);
+        prop_assert_eq!(forced.get(&heap.with_shards(2)).copied(), Some("n2"));
+    }
+
+    /// Re-sharding is idempotent on the key: `with_shards(n)` twice is
+    /// the same cache entry, and only the base count (not the application
+    /// order) matters.
+    #[test]
+    fn resharding_keeps_one_key_per_count(spec in spec_strategy(), n in 1u16..16) {
+        let once = spec.with_shards(n);
+        let twice = spec.with_shards(n).with_shards(n);
+        prop_assert_eq!(once, twice);
+        let via_other = spec.with_shards(n.wrapping_add(1).max(1)).with_shards(n);
+        prop_assert_eq!(once, via_other);
+        let mut map: HashMap<ExperimentSpec, &str> = HashMap::new();
+        map.insert(once, "a");
+        map.insert(twice, "b");
+        map.insert(via_other, "c");
+        prop_assert_eq!(map.len(), 1);
+    }
+
     /// A spec with an explicit `FaultSpec::none()` is the *same* cache key
     /// as the plain spec: enabling the fault plane with everything off
     /// cannot fork the cache.
@@ -242,6 +286,9 @@ fn backend_strategy() -> BoxedStrategy<Backend> {
         Just(Backend::Hashed),
         Just(Backend::SortedList),
         Just(Backend::Heap),
+        Just(Backend::Native.with_shards(2)),
+        Just(Backend::Hashed.with_shards(4)),
+        Just(Backend::Heap.with_shards(8)),
     ]
     .boxed()
 }

@@ -13,3 +13,8 @@ pub struct NeighId(pub u32);
 /// A block-layer request identity (for the IDE command timeout).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ReqId(pub u32);
+
+/// A connection identity in the mass-connection table (the scaled
+/// million-connection Apache workload; see `subsys::mass`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MassId(pub u32);

@@ -9,6 +9,7 @@ use crate::ids::ConnId;
 use crate::subsys::arp::ArpTable;
 use crate::subsys::blockio::BlockLayer;
 use crate::subsys::journal::Journal;
+use crate::subsys::mass::MassTable;
 use crate::subsys::tcp::TcpTable;
 use crate::syscalls::SyscallTimers;
 use crate::timers::{Callback, Fired, HkKind, TimerBase, TimerHandle, UserKind};
@@ -38,6 +39,14 @@ pub struct LinuxConfig {
     /// Timer-queue structure for the standard timer base; `Native` is the
     /// kernel's hierarchical cascading wheel.
     pub backend: wheel::Backend,
+}
+
+impl LinuxConfig {
+    /// The number of per-CPU timer bases this configuration simulates
+    /// (1 unless the backend is sharded).
+    pub fn shards(&self) -> u16 {
+        self.backend.shards()
+    }
 }
 
 impl Default for LinuxConfig {
@@ -111,6 +120,7 @@ pub struct LinuxKernel {
     /// Deferrable timers held back while idle under dynticks.
     pub(crate) deferred: Vec<Fired>,
     pub(crate) tcp: TcpTable,
+    pub(crate) mass: MassTable,
     pub(crate) arp: ArpTable,
     pub(crate) blk: BlockLayer,
     pub(crate) journal: Journal,
@@ -151,6 +161,7 @@ impl LinuxKernel {
             notifications: Vec::new(),
             deferred: Vec::new(),
             tcp: TcpTable::new(),
+            mass: MassTable::default(),
             arp: ArpTable::new(),
             blk: BlockLayer::new(),
             journal: Journal::new(),
@@ -213,6 +224,17 @@ impl LinuxKernel {
     /// The standard timer base (for tests and analysis helpers).
     pub fn timer_base(&self) -> &TimerBase {
         &self.base
+    }
+
+    /// Declares which simulated CPU issues the following timer arms
+    /// (`None` restores per-timer default placement).
+    ///
+    /// Only the sharded backend reacts: new arms land on that CPU's base,
+    /// and a live timer re-armed from a different CPU migrates. The hint
+    /// never changes firing order, trace records, or RNG draws, so runs
+    /// stay byte-identical across shard counts.
+    pub fn set_timer_cpu(&mut self, cpu: Option<u32>) {
+        self.base.set_context_cpu(cpu);
     }
 
     /// The next instant at which any timer (standard or high-resolution)
@@ -285,6 +307,9 @@ impl LinuxKernel {
     /// Processes one jiffy tick: charge the tick, fire due timers, run
     /// callbacks slightly later (bottom-half latency), dispatch.
     fn process_jiffy(&mut self, jiffy: Jiffies) {
+        // Tick and callback context has no driver-declared arming CPU:
+        // callback re-arms fall back to per-timer home placement.
+        self.base.set_context_cpu(None);
         let tick_instant = self.base.clock().instant_of(jiffy);
         if tick_instant > self.now {
             self.now = tick_instant;
@@ -366,6 +391,8 @@ impl LinuxKernel {
                 // Screen blanks; the watchdog is not re-armed until there
                 // is console activity again.
             }
+            Callback::MassWatchdog(id) => self.mass_watchdog_expired(id, at),
+            Callback::MassRto(id) => self.mass_rto_expired(id, at),
             Callback::User(kind) => {
                 let slot = self.base.slot(fired.handle);
                 self.notifications.push(Notify::UserTimerExpired {

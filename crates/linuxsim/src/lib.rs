@@ -36,6 +36,6 @@ pub mod subsys;
 pub mod syscalls;
 pub mod timers;
 
-pub use ids::{ConnId, NeighId, ReqId};
+pub use ids::{ConnId, MassId, NeighId, ReqId};
 pub use kernel::{LinuxConfig, LinuxKernel, Notify};
 pub use timers::{Callback, HkKind, TimerHandle, UserKind};

@@ -3,4 +3,5 @@
 pub mod arp;
 pub mod blockio;
 pub mod journal;
+pub mod mass;
 pub mod tcp;

@@ -12,7 +12,7 @@ use simtime::{Jiffies, JiffyClock, SimDuration, SimInstant, LINUX_HZ};
 use trace::{Event, EventFlags, EventKind, Pid, Space, Tid, TimerAddr, TraceLog};
 use wheel::{Backend, TimerQueue};
 
-use crate::ids::{ConnId, NeighId, ReqId};
+use crate::ids::{ConnId, MassId, NeighId, ReqId};
 
 /// Handle to a timer slot (the identity of a `struct timer_list`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +85,11 @@ pub enum Callback {
     ConsoleBlank,
     /// A user-space wait; surfaced to the workload driver on expiry.
     User(UserKind),
+    /// Per-connection application watchdog in the mass-connection table
+    /// (the scaled httperf/Apache workload; see `subsys::mass`).
+    MassWatchdog(MassId),
+    /// Per-connection TCP retransmit timer in the mass-connection table.
+    MassRto(MassId),
 }
 
 /// One `struct timer_list`: statically allocated and reused, as is
@@ -371,6 +376,23 @@ impl TimerBase {
     /// The armed expiry of a pending timer.
     pub fn expiry_of(&self, handle: TimerHandle) -> Option<Jiffies> {
         self.pending.get(&handle.0).copied()
+    }
+
+    /// Declares which simulated CPU issues the following `mod_timer`
+    /// calls (`None` restores per-timer default placement).
+    ///
+    /// Forwarded to the timer queue; only the sharded backend reacts — it
+    /// places new arms on that CPU's base and migrates live timers
+    /// re-armed from a different CPU, exactly as `__mod_timer` re-homes a
+    /// timer onto the arming CPU's `tvec_base`.
+    pub fn set_context_cpu(&mut self, cpu: Option<u32>) {
+        self.wheel.set_context_cpu(cpu);
+    }
+
+    /// The per-CPU base a pending timer lives on (0 on single-base
+    /// backends).
+    pub fn base_of(&self, handle: TimerHandle) -> Option<u32> {
+        self.wheel.base_of(handle.0 as u64)
     }
 }
 

@@ -1,0 +1,124 @@
+//! Connection address allocation for mass client populations.
+//!
+//! The paper's httperf run uses one client machine, so a 16-bit ephemeral
+//! port is a sufficient connection identity. Scaling to ~10⁶ concurrent
+//! connections breaks that latent assumption — ports repeat after 64512
+//! allocations — so addresses here span (client machine, ephemeral port)
+//! and derive a collision-free 64-bit key from the pair.
+
+/// One client-side connection address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnAddr {
+    /// The client machine on the LAN.
+    pub client: u32,
+    /// The ephemeral source port on that machine.
+    pub port: u16,
+}
+
+/// First ephemeral port (below are well-known/registered).
+pub const EPHEMERAL_BASE: u16 = 1024;
+/// Ephemeral ports per client machine.
+pub const EPHEMERAL_RANGE: u32 = (u16::MAX as u32) - (EPHEMERAL_BASE as u32) + 1;
+
+impl ConnAddr {
+    /// A collision-free 64-bit connection key.
+    ///
+    /// A port alone collides past 2¹⁶ connections; spanning the client id
+    /// keeps keys unique across the whole pool.
+    pub fn key(self) -> u64 {
+        ((self.client as u64) << 16) | self.port as u64
+    }
+}
+
+/// Deterministic round-robin allocator over client machines × ephemeral
+/// ports — the shape of an httperf fleet driving one server.
+#[derive(Debug, Clone)]
+pub struct ClientPool {
+    clients: u32,
+    next: u64,
+}
+
+impl ClientPool {
+    /// A pool of `clients` machines, each with the full ephemeral range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn new(clients: u32) -> Self {
+        assert!(clients > 0, "need at least one client machine");
+        ClientPool { clients, next: 0 }
+    }
+
+    /// A pool large enough for `connections` concurrent connections.
+    pub fn sized_for(connections: u64) -> Self {
+        let clients = connections.div_ceil(EPHEMERAL_RANGE as u64).max(1);
+        Self::new(clients as u32)
+    }
+
+    /// Total addresses this pool can hand out.
+    pub fn capacity(&self) -> u64 {
+        self.clients as u64 * EPHEMERAL_RANGE as u64
+    }
+
+    /// Number of addresses handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    /// Allocates the next address, filling each client's port range
+    /// before moving to the next machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool is exhausted (reusing an address would alias
+    /// a live connection's key).
+    pub fn allocate(&mut self) -> ConnAddr {
+        assert!(
+            self.next < self.capacity(),
+            "client pool exhausted after {} allocations",
+            self.next
+        );
+        let idx = self.next;
+        self.next += 1;
+        ConnAddr {
+            client: (idx / EPHEMERAL_RANGE as u64) as u32,
+            port: EPHEMERAL_BASE + (idx % EPHEMERAL_RANGE as u64) as u16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_unique_past_sixteen_bits() {
+        // 70 000 crosses the 2^16 boundary where a port-only identity
+        // starts colliding.
+        let mut pool = ClientPool::sized_for(70_000);
+        assert!(pool.capacity() >= 70_000);
+        let mut seen = HashSet::new();
+        for _ in 0..70_000u64 {
+            let addr = pool.allocate();
+            assert!(addr.port >= EPHEMERAL_BASE);
+            assert!(seen.insert(addr.key()), "key collision at {addr:?}");
+        }
+        assert_eq!(pool.allocated(), 70_000);
+    }
+
+    #[test]
+    fn sized_for_a_million() {
+        let pool = ClientPool::sized_for(1_000_000);
+        assert!(pool.capacity() >= 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "client pool exhausted")]
+    fn exhaustion_panics_instead_of_aliasing() {
+        let mut pool = ClientPool::new(1);
+        for _ in 0..=EPHEMERAL_RANGE {
+            pool.allocate();
+        }
+    }
+}

@@ -54,11 +54,16 @@ pub enum SimCounter {
     ClockPerturbations,
     /// Virtual nanoseconds advanced by the simulated kernels.
     SimTimeAdvancedNs,
+    /// Timers moved between per-CPU bases by a sharded backend (a re-arm
+    /// issued from a different simulated CPU than the base the timer
+    /// currently lives on).
+    WheelBaseMigrations,
 }
 
 impl SimCounter {
-    /// Every counter, in stable export order.
-    pub const ALL: [SimCounter; 15] = [
+    /// Every counter, in stable export order. New counters are appended so
+    /// existing counters' indices stay stable.
+    pub const ALL: [SimCounter; 16] = [
         SimCounter::WheelSchedules,
         SimCounter::WheelCascadeMoves,
         SimCounter::WheelExpirations,
@@ -74,6 +79,7 @@ impl SimCounter {
         SimCounter::NetFaultedSamples,
         SimCounter::ClockPerturbations,
         SimCounter::SimTimeAdvancedNs,
+        SimCounter::WheelBaseMigrations,
     ];
 
     /// Stable metric name (Prometheus conventions).
@@ -94,6 +100,7 @@ impl SimCounter {
             SimCounter::NetFaultedSamples => "net_faulted_samples_total",
             SimCounter::ClockPerturbations => "clock_perturbations_total",
             SimCounter::SimTimeAdvancedNs => "sim_time_advanced_ns_total",
+            SimCounter::WheelBaseMigrations => "wheel_base_migrations_total",
         }
     }
 }
@@ -112,16 +119,21 @@ pub enum SimGauge {
     /// the chunk size regardless of trace length (the collected oracle
     /// path reports the full trace length here instead).
     AnalysisResidentEventsHigh,
+    /// Largest pending-count spread between the fullest and emptiest base
+    /// of a sharded backend — 0 unless shards are in use (or perfectly
+    /// balanced).
+    WheelBaseImbalanceMax,
 }
 
 impl SimGauge {
     /// Every gauge, in stable export order. New gauges are appended so
     /// existing gauges' indices stay stable.
-    pub const ALL: [SimGauge; 4] = [
+    pub const ALL: [SimGauge; 5] = [
         SimGauge::WheelPendingHigh,
         SimGauge::RingBytesHigh,
         SimGauge::StringTableSize,
         SimGauge::AnalysisResidentEventsHigh,
+        SimGauge::WheelBaseImbalanceMax,
     ];
 
     /// Stable metric name.
@@ -131,6 +143,7 @@ impl SimGauge {
             SimGauge::RingBytesHigh => "trace_ring_bytes_high_watermark",
             SimGauge::StringTableSize => "trace_string_table_size",
             SimGauge::AnalysisResidentEventsHigh => "analysis_resident_events_high_watermark",
+            SimGauge::WheelBaseImbalanceMax => "wheel_base_imbalance_max",
         }
     }
 }

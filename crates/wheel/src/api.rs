@@ -69,6 +69,27 @@ pub trait TimerQueue: std::fmt::Debug {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Tells the queue which simulated CPU is issuing the following
+    /// schedule calls (`None` restores per-timer default placement).
+    ///
+    /// Single-base structures have no placement decision to make, so the
+    /// default is a no-op; the sharded backend uses it to pick the target
+    /// base and to migrate timers re-armed from a different CPU. The hint
+    /// never affects firing order — only which base holds the entry — so
+    /// backends remain exactly interchangeable.
+    fn set_context_cpu(&mut self, _cpu: Option<u32>) {}
+
+    /// The base (shard) a pending timer currently lives on.
+    ///
+    /// Single-base structures report 0 for every pending timer.
+    fn base_of(&self, id: TimerId) -> Option<u32> {
+        if self.is_pending(id) {
+            Some(0)
+        } else {
+            None
+        }
+    }
 }
 
 /// Shared active-set bookkeeping with generation counters for lazy deletion.
@@ -77,9 +98,23 @@ pub trait TimerQueue: std::fmt::Debug {
 /// timer is cancelled or moved; each entry carries the generation it was
 /// inserted under and is ignored at fire time unless it matches the current
 /// generation in this map.
-#[derive(Debug, Default, Clone)]
+///
+/// The set also carries the *base* dimension: which per-CPU base each
+/// pending timer lives on. Single-base structures keep everything on base
+/// 0; the sharded backend's wrapper set spreads entries across its shard
+/// count and derives the migration counter and imbalance gauge from the
+/// per-base pending counts (plain integer bookkeeping — no RNG draws).
+#[derive(Debug, Clone)]
 pub struct ActiveSet {
     entries: HashMap<TimerId, ActiveEntry>,
+    /// Pending count per base; length is the base count (1 for the
+    /// single-base structures).
+    base_pending: Vec<u64>,
+    /// Whether this set owns the uniform wheel counters. The sharded
+    /// wrapper's bookkeeping set is *uncounted*: its inner queues already
+    /// bump schedules/cancels/expirations, so counting here would double
+    /// every event.
+    counted: bool,
 }
 
 /// State of one pending timer.
@@ -89,41 +124,115 @@ pub struct ActiveEntry {
     pub expires: Tick,
     /// Generation stamp; bumped on every (re-)schedule and cancel.
     pub generation: u64,
+    /// The per-CPU base holding the entry (0 for single-base structures).
+    pub base: u32,
+}
+
+/// What [`ActiveSet::arm_on_base`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmOutcome {
+    /// The generation the entry was (re-)inserted under.
+    pub generation: u64,
+    /// The base the previous live entry occupied, when the arm moved the
+    /// timer to a different base (a migration).
+    pub migrated_from: Option<u32>,
+}
+
+impl Default for ActiveSet {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ActiveSet {
-    /// Creates an empty set.
+    /// Creates an empty single-base counted set.
     pub fn new() -> Self {
-        Self::default()
+        ActiveSet {
+            entries: HashMap::new(),
+            base_pending: vec![0],
+            counted: true,
+        }
     }
 
-    /// Registers (or re-registers) `id`, returning the new generation.
+    /// Creates the sharded wrapper's bookkeeping set: `bases` per-CPU
+    /// bases, with the uniform wheel counters left to the inner queues.
+    pub fn sharded_bookkeeping(bases: usize) -> Self {
+        ActiveSet {
+            entries: HashMap::new(),
+            base_pending: vec![0; bases.max(1)],
+            counted: false,
+        }
+    }
+
+    /// Registers (or re-registers) `id` on base 0, returning the new
+    /// generation.
     ///
     /// Every backend arms through here, so the sim-plane schedule counter
     /// and pending-high-watermark gauge are uniform across backends (and,
     /// being plain counter bumps, consume no RNG draws).
     pub fn arm(&mut self, id: TimerId, expires: Tick, next_gen: &mut u64) -> u64 {
+        self.arm_on_base(id, expires, 0, next_gen).generation
+    }
+
+    /// Registers (or re-registers) `id` on `base`, reporting whether the
+    /// arm migrated a live entry from a different base.
+    pub fn arm_on_base(
+        &mut self,
+        id: TimerId,
+        expires: Tick,
+        base: u32,
+        next_gen: &mut u64,
+    ) -> ArmOutcome {
         *next_gen += 1;
         let generation = *next_gen;
-        self.entries.insert(
+        let old = self.entries.insert(
             id,
             ActiveEntry {
                 expires,
                 generation,
+                base,
             },
         );
-        sim::add(SimCounter::WheelSchedules, 1);
+        if let Some(old) = old {
+            self.base_pending[old.base as usize] -= 1;
+        }
+        self.base_pending[base as usize] += 1;
+        let migrated_from = old.map(|o| o.base).filter(|&b| b != base);
+        if migrated_from.is_some() {
+            sim::add(SimCounter::WheelBaseMigrations, 1);
+        }
+        if self.counted {
+            // A re-arm of a live timer is a detach + enqueue (the kernel's
+            // `detach_if_pending` inside `__mod_timer`), so it counts on
+            // both sides. This keeps the conservation identity exact:
+            // schedules == cancels + expirations + still-pending.
+            if old.is_some() {
+                sim::add(SimCounter::WheelCancels, 1);
+            }
+            sim::add(SimCounter::WheelSchedules, 1);
+        }
         sim::gauge_max(SimGauge::WheelPendingHigh, self.entries.len() as u64);
-        generation
+        if self.base_pending.len() > 1 {
+            sim::gauge_max(SimGauge::WheelBaseImbalanceMax, self.imbalance());
+        }
+        ArmOutcome {
+            generation,
+            migrated_from,
+        }
     }
 
     /// Removes `id`; returns `true` if it was pending.
     pub fn disarm(&mut self, id: TimerId) -> bool {
-        let was_pending = self.entries.remove(&id).is_some();
-        if was_pending {
-            sim::add(SimCounter::WheelCancels, 1);
+        match self.entries.remove(&id) {
+            Some(e) => {
+                self.base_pending[e.base as usize] -= 1;
+                if self.counted {
+                    sim::add(SimCounter::WheelCancels, 1);
+                }
+                true
+            }
+            None => false,
         }
-        was_pending
     }
 
     /// Returns `true` if `id` is pending.
@@ -137,12 +246,33 @@ impl ActiveSet {
         match self.entries.get(&id) {
             Some(e) if e.generation == generation => {
                 let expires = e.expires;
+                let base = e.base;
                 self.entries.remove(&id);
-                sim::add(SimCounter::WheelExpirations, 1);
+                self.base_pending[base as usize] -= 1;
+                if self.counted {
+                    sim::add(SimCounter::WheelExpirations, 1);
+                }
                 Some(expires)
             }
             _ => None,
         }
+    }
+
+    /// The base a pending timer lives on.
+    pub fn base_of(&self, id: TimerId) -> Option<u32> {
+        self.entries.get(&id).map(|e| e.base)
+    }
+
+    /// Pending timers on one base.
+    pub fn base_len(&self, base: u32) -> u64 {
+        self.base_pending.get(base as usize).copied().unwrap_or(0)
+    }
+
+    /// The pending-count spread between the fullest and emptiest base.
+    pub fn imbalance(&self) -> u64 {
+        let max = self.base_pending.iter().copied().max().unwrap_or(0);
+        let min = self.base_pending.iter().copied().min().unwrap_or(0);
+        max - min
     }
 
     /// Returns the live entry for `id`, if pending.

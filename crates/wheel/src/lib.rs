@@ -24,17 +24,24 @@
 //! the structures are interchangeable at runtime via [`Backend`], which the
 //! simulated kernels use to take their timer queue from the experiment
 //! spec instead of hard-wiring it.
+//!
+//! [`ShardedQueue`] splits any of the four into N per-CPU bases with
+//! deterministic placement and cross-base migration — the topology the
+//! paper's SMP kernels actually run — while preserving the same exact
+//! firing-order contract.
 
 pub mod api;
 pub mod backend;
 pub mod hashed;
 pub mod heap;
 pub mod hierarchical;
+pub mod sharded;
 pub mod sortedlist;
 
 pub use api::{Tick, TimerId, TimerQueue};
-pub use backend::Backend;
+pub use backend::{Backend, InnerBackend};
 pub use hashed::HashedWheel;
 pub use heap::HeapQueue;
 pub use hierarchical::HierarchicalWheel;
+pub use sharded::ShardedQueue;
 pub use sortedlist::SortedList;

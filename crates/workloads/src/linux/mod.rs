@@ -1,5 +1,6 @@
 //! Linux workload models.
 
+pub mod apache;
 pub mod firefox;
 pub mod idle;
 pub mod skype;

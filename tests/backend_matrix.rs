@@ -1,8 +1,10 @@
 //! Figure-level cross-backend oracle: forcing every simulated subsystem
-//! onto any of the four timer-queue structures must leave each rendered
-//! table and figure — and its CSV payload — byte-identical to the native
-//! run's. This is the end-to-end half of the equivalence matrix; the
-//! structure-level half is `crates/wheel/tests/equivalence.rs`.
+//! onto any of the four timer-queue structures — flat or split across
+//! per-CPU sharded bases — must leave each rendered table and figure —
+//! and its CSV payload — byte-identical to the native run's. This is the
+//! end-to-end half of the equivalence matrix; the structure-level halves
+//! are `crates/wheel/tests/equivalence.rs` and
+//! `crates/wheel/tests/sharding_equivalence.rs`.
 //!
 //! Sim metrics are deliberately *not* asserted identical: the backends
 //! agree on every observable the figures are built from, but their
@@ -28,7 +30,7 @@ fn all_backends_render_byte_identical_figures() {
         "the wheel counters must be live for the matrix to mean anything"
     );
 
-    for backend in Backend::FORCED {
+    for backend in Backend::FORCED.into_iter().chain(Backend::SHARDED_MATRIX) {
         let (results, artifacts) = reproduce_all_backend_with_results(duration, SEED, backend);
         assert_eq!(
             native.len(),
@@ -88,6 +90,23 @@ fn forced_backend_results_carry_backend_in_spec() {
         assert!(
             timerstudy::spec_label(&r.spec).ends_with("backend=sortedlist"),
             "label must name the forced backend: {}",
+            timerstudy::spec_label(&r.spec)
+        );
+    }
+}
+
+#[test]
+fn sharded_backend_results_carry_shard_count_in_spec() {
+    let duration = SimDuration::from_secs(2);
+    let backend = Backend::Hashed.with_shards(4);
+    let (results, _) = reproduce_all_backend_with_results(duration, SEED, backend);
+    assert!(!results.is_empty());
+    for r in &results {
+        assert_eq!(r.spec.backend, backend);
+        assert_eq!(r.spec.backend.shards(), 4);
+        assert!(
+            timerstudy::spec_label(&r.spec).ends_with("backend=sharded:4:hashed"),
+            "label must name the sharded backend and base count: {}",
             timerstudy::spec_label(&r.spec)
         );
     }
