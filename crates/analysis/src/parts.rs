@@ -1,0 +1,383 @@
+//! The analyzer split into independently-foldable parts.
+//!
+//! [`TraceAnalyzer`] is a composition of folds over one event stream —
+//! counts, histograms, the lifecycle-derived classifiers. Nothing about
+//! those folds interacts except that they read the same events, which is
+//! exactly the shape the conservative parallel engine can fan out: each
+//! part becomes its own partition, every partition receives the
+//! identical ordered stream, and the union of the folded states *is* the
+//! monolithic analyzer's state.
+//!
+//! Three parts carry their own [`LifecycleTracker`] duplicate
+//! (classification, origin classification, scatter/provenance): the
+//! tracker is a pure function of the event stream, so the duplicates
+//! yield byte-identical sample sequences, and duplicating it is what
+//! makes the parts independent — no cross-partition sample traffic, no
+//! ordering hazard.
+//!
+//! [`split_analyzer`] builds the canonical part set from a config;
+//! [`assemble_report`] reassembles a [`Report`] that is field-for-field
+//! identical to what `TraceAnalyzer::finish` would have produced from
+//! the same stream (pinned by the differential test below and by
+//! `tests/pdes_determinism.rs` at the experiment level).
+
+use trace::{Event, EventCounts, Pid, StringTable};
+
+use crate::analyzer::{AnalyzerConfig, ClusterMode, Report};
+use crate::classify::{Classifier, ClusterKey};
+use crate::countdown::CountdownDetector;
+use crate::lifecycle::LifecycleTracker;
+use crate::provenance::ProvenanceTracker;
+use crate::scatter::ScatterBuilder;
+use crate::summary::{RateSeries, TimerPopulation, TraceSummary};
+use crate::values::ValueHistogram;
+
+/// How many parts [`split_analyzer`] produces.
+pub const ANALYZER_PART_COUNT: usize = 8;
+
+/// One independently-foldable slice of the analyzer. Every part must see
+/// every event, in stream order; parts never need each other until
+/// [`assemble_report`].
+pub enum AnalyzerPart {
+    /// Plain counters: event counts, timer population, Figure 1 rates,
+    /// plus the decode-loss tally the trace layer reports out of band.
+    Counts {
+        counts: EventCounts,
+        population: TimerPopulation,
+        rates: RateSeries,
+        decode_lost: u64,
+    },
+    /// Figure 3/7 value histogram (unfiltered).
+    ValuesAll(ValueHistogram),
+    /// Figure 5 value histogram (X/icewm filtered).
+    ValuesFiltered(ValueHistogram),
+    /// Figure 6 value histogram (user-space, filtered).
+    ValuesUser(ValueHistogram),
+    /// Countdown detection and the Figure 4 dots.
+    Countdown(CountdownDetector),
+    /// Pattern classification over lifecycle samples.
+    Classify {
+        lifecycle: LifecycleTracker,
+        classifier: Classifier,
+        mode: ClusterMode,
+    },
+    /// Per-origin classification (Table 3's class column).
+    OriginClassify {
+        lifecycle: LifecycleTracker,
+        classifier: Classifier,
+    },
+    /// Scatter points and provenance rows over lifecycle samples.
+    ScatterProvenance {
+        lifecycle: LifecycleTracker,
+        scatter: ScatterBuilder,
+        provenance: ProvenanceTracker,
+        exclude_pids: Vec<Pid>,
+    },
+}
+
+impl std::fmt::Debug for AnalyzerPart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl AnalyzerPart {
+    /// A short stable name (progress displays, bench labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnalyzerPart::Counts { .. } => "counts",
+            AnalyzerPart::ValuesAll(_) => "values_all",
+            AnalyzerPart::ValuesFiltered(_) => "values_filtered",
+            AnalyzerPart::ValuesUser(_) => "values_user",
+            AnalyzerPart::Countdown(_) => "countdown",
+            AnalyzerPart::Classify { .. } => "classify",
+            AnalyzerPart::OriginClassify { .. } => "origin_classify",
+            AnalyzerPart::ScatterProvenance { .. } => "scatter_provenance",
+        }
+    }
+
+    /// Feeds one event through this part — the same fold the monolithic
+    /// [`TraceAnalyzer::push`](crate::TraceAnalyzer) applies to the
+    /// matching components.
+    pub fn push(&mut self, event: &Event) {
+        match self {
+            AnalyzerPart::Counts {
+                counts,
+                population,
+                rates,
+                ..
+            } => {
+                counts.absorb(event);
+                population.push(event);
+                rates.push(event);
+            }
+            AnalyzerPart::ValuesAll(h)
+            | AnalyzerPart::ValuesFiltered(h)
+            | AnalyzerPart::ValuesUser(h) => h.push(event),
+            AnalyzerPart::Countdown(c) => c.push(event),
+            AnalyzerPart::Classify {
+                lifecycle,
+                classifier,
+                mode,
+            } => {
+                if let Some(sample) = lifecycle.push(event) {
+                    let key = match mode {
+                        ClusterMode::ByAddress => ClusterKey(sample.addr, 0),
+                        ClusterMode::ByOriginPid => {
+                            ClusterKey(sample.origin as u64, sample.pid as u64)
+                        }
+                    };
+                    classifier.push(key, &sample);
+                }
+            }
+            AnalyzerPart::OriginClassify {
+                lifecycle,
+                classifier,
+            } => {
+                if let Some(sample) = lifecycle.push(event) {
+                    classifier.push(ClusterKey(sample.origin as u64, 0), &sample);
+                }
+            }
+            AnalyzerPart::ScatterProvenance {
+                lifecycle,
+                scatter,
+                provenance,
+                exclude_pids,
+            } => {
+                if let Some(sample) = lifecycle.push(event) {
+                    if !exclude_pids.contains(&sample.pid) {
+                        scatter.push(&sample);
+                    }
+                    provenance.push(&sample);
+                }
+            }
+        }
+    }
+
+    /// Feeds a whole chunk (chunk boundaries carry no semantics).
+    pub fn push_chunk(&mut self, chunk: &[Event]) {
+        for event in chunk {
+            self.push(event);
+        }
+    }
+
+    /// Accounts trace-layer decode losses (only meaningful on the
+    /// `Counts` part, mirroring
+    /// [`TraceAnalyzer::note_decode_lost`](crate::TraceAnalyzer)).
+    pub fn note_decode_lost(&mut self, n: u64) {
+        if let AnalyzerPart::Counts { decode_lost, .. } = self {
+            *decode_lost += n;
+        }
+    }
+}
+
+/// Builds the canonical part set for `cfg`, in the fixed order
+/// [`assemble_report`] expects. The parts mirror exactly the components
+/// `TraceAnalyzer::new` builds from the same config.
+pub fn split_analyzer(cfg: &AnalyzerConfig) -> Vec<AnalyzerPart> {
+    vec![
+        AnalyzerPart::Counts {
+            counts: EventCounts::default(),
+            population: TimerPopulation::default(),
+            rates: RateSeries::new(cfg.rate_groups.clone()),
+            decode_lost: 0,
+        },
+        AnalyzerPart::ValuesAll(ValueHistogram::new()),
+        AnalyzerPart::ValuesFiltered(ValueHistogram::excluding(cfg.exclude_pids.iter().copied())),
+        AnalyzerPart::ValuesUser(ValueHistogram::user_only_excluding(
+            cfg.exclude_pids.iter().copied(),
+        )),
+        AnalyzerPart::Countdown(CountdownDetector::new(cfg.tolerance, cfg.dot_pids.clone())),
+        AnalyzerPart::Classify {
+            lifecycle: LifecycleTracker::new(),
+            classifier: Classifier::new(cfg.tolerance),
+            mode: cfg.cluster_mode,
+        },
+        AnalyzerPart::OriginClassify {
+            lifecycle: LifecycleTracker::new(),
+            classifier: Classifier::new(cfg.tolerance),
+        },
+        AnalyzerPart::ScatterProvenance {
+            lifecycle: LifecycleTracker::new(),
+            scatter: ScatterBuilder::new(),
+            provenance: ProvenanceTracker::new(),
+            exclude_pids: cfg.exclude_pids.clone(),
+        },
+    ]
+}
+
+/// Reassembles the folded parts into a [`Report`] — field for field what
+/// `TraceAnalyzer::finish` produces from the same stream.
+///
+/// # Panics
+///
+/// Panics if `parts` is not the [`split_analyzer`] set in its original
+/// order: a shuffled or partial reassembly is a harness bug, never
+/// recoverable data.
+pub fn assemble_report(parts: Vec<AnalyzerPart>, strings: &StringTable) -> Report {
+    let mut it = parts.into_iter();
+    let mut next = || it.next().expect("all analyzer parts present");
+    let (counts, population, rates, decode_lost) = match next() {
+        AnalyzerPart::Counts {
+            counts,
+            population,
+            rates,
+            decode_lost,
+        } => (counts, population, rates, decode_lost),
+        other => panic!("expected counts part, got {}", other.label()),
+    };
+    let values_all = match next() {
+        AnalyzerPart::ValuesAll(h) => h,
+        other => panic!("expected values_all part, got {}", other.label()),
+    };
+    let values_filtered = match next() {
+        AnalyzerPart::ValuesFiltered(h) => h,
+        other => panic!("expected values_filtered part, got {}", other.label()),
+    };
+    let values_user = match next() {
+        AnalyzerPart::ValuesUser(h) => h,
+        other => panic!("expected values_user part, got {}", other.label()),
+    };
+    let countdown = match next() {
+        AnalyzerPart::Countdown(c) => c,
+        other => panic!("expected countdown part, got {}", other.label()),
+    };
+    let (lifecycle, classifier) = match next() {
+        AnalyzerPart::Classify {
+            lifecycle,
+            classifier,
+            ..
+        } => (lifecycle, classifier),
+        other => panic!("expected classify part, got {}", other.label()),
+    };
+    let origin_classifier = match next() {
+        AnalyzerPart::OriginClassify { classifier, .. } => classifier,
+        other => panic!("expected origin_classify part, got {}", other.label()),
+    };
+    let (scatter, provenance) = match next() {
+        AnalyzerPart::ScatterProvenance {
+            scatter,
+            provenance,
+            ..
+        } => (scatter, provenance),
+        other => panic!("expected scatter_provenance part, got {}", other.label()),
+    };
+    assert!(it.next().is_none(), "unexpected extra analyzer part");
+
+    let mut summary = TraceSummary::from_counts(
+        counts,
+        population.count(),
+        lifecycle.peak_concurrency() as u64,
+    );
+    summary.orphan_ends = lifecycle.orphan_ends();
+    summary.decode_lost = decode_lost;
+    summary.out_of_order_sets = countdown.out_of_order_sets();
+    // The main classifier only: the origin classifier sees the same
+    // samples again and would double-count.
+    summary.anomalous_rearms = classifier.anomalous_rearms();
+    let provenance_rows = provenance.rows(
+        1.0,
+        4,
+        |o| strings.resolve(o).to_owned(),
+        |o| {
+            origin_classifier
+                .class_of(ClusterKey(o as u64, 0))
+                .unwrap_or(crate::classify::PatternClass::Other)
+        },
+    );
+    let mut rate_series = std::collections::BTreeMap::new();
+    for name in rates.group_names() {
+        rate_series.insert(name.to_owned(), rates.series(name).to_vec());
+    }
+    Report {
+        summary,
+        pattern_mix: classifier.finish(),
+        values_all: values_all.rows(2.0),
+        values_all_coverage: values_all.coverage(2.0),
+        values_filtered: values_filtered.rows(2.0),
+        values_filtered_coverage: values_filtered.coverage(2.0),
+        values_user: values_user.rows(2.0),
+        scatter: scatter.points(),
+        fig4_dots: countdown.dots().to_vec(),
+        rate_series,
+        provenance: provenance_rows,
+        countdown_timer_count: countdown.countdown_timers(0.5).len(),
+        countdown_validation: countdown.validation_counts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceAnalyzer;
+    use simtime::{SimDuration, SimInstant, SimRng};
+    use trace::{EventKind, Space};
+
+    /// A synthetic but structurally rich stream: several timers per pid,
+    /// re-sets, cancels, expiries, user and kernel space.
+    fn stream(strings: &mut trace::TraceLog) -> Vec<Event> {
+        let origins = [
+            strings.intern("parts:tick"),
+            strings.intern("parts:watchdog"),
+            strings.intern("parts:io"),
+        ];
+        let mut rng = SimRng::new(99);
+        let mut events = Vec::new();
+        for i in 0..6_000u64 {
+            let at = SimInstant::BOOT + SimDuration::from_micros(100 * i + rng.range_u64(0, 50));
+            let addr = 0x1000 + (i % 37);
+            let origin = origins[(i % 3) as usize];
+            let kind = match i % 5 {
+                0 | 1 => EventKind::Set,
+                2 => EventKind::Expire,
+                3 => EventKind::Cancel,
+                _ => EventKind::Set,
+            };
+            let space = if i % 4 == 0 {
+                Space::Kernel
+            } else {
+                Space::User
+            };
+            events.push(
+                Event::new(at, kind, addr, origin)
+                    .with_expires(at + SimDuration::from_millis(1 + i % 120))
+                    .with_task(100 + (i % 7) as u32, 100, space),
+            );
+        }
+        events
+    }
+
+    #[test]
+    fn parts_reassemble_to_the_monolithic_report() {
+        let mut log = trace::TraceLog::new(Box::new(trace::NullSink));
+        let events = stream(&mut log);
+        let strings = log.strings().clone();
+
+        for cfg in [AnalyzerConfig::linux(), AnalyzerConfig::vista()] {
+            let mut mono = TraceAnalyzer::new(cfg.clone());
+            mono.note_decode_lost(3);
+            let mut parts = split_analyzer(&cfg);
+            assert_eq!(parts.len(), ANALYZER_PART_COUNT);
+            parts[0].note_decode_lost(3);
+            for event in &events {
+                mono.push(event);
+                for part in parts.iter_mut() {
+                    part.push(event);
+                }
+            }
+            let expected = serde_json::to_string(&mono.finish(&strings)).unwrap();
+            let got = serde_json::to_string(&assemble_report(parts, &strings)).unwrap();
+            assert_eq!(got, expected, "split analyzer diverged from monolith");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected counts part")]
+    fn shuffled_parts_are_rejected() {
+        let cfg = AnalyzerConfig::linux();
+        let mut parts = split_analyzer(&cfg);
+        parts.rotate_left(1);
+        let log = trace::TraceLog::new(Box::new(trace::NullSink));
+        let _ = assemble_report(parts, log.strings());
+    }
+}

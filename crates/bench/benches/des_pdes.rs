@@ -1,0 +1,51 @@
+//! Scaling profile of the conservative parallel DES engine.
+//!
+//! One fixed heavy calendar ([`bench::pdes_scenario::TOTAL_TIMERS`]
+//! timers with a real per-expiry handler cost) is split over 1, 2, 4
+//! and 8 ring-connected partitions and run to completion — total work
+//! constant, so the per-width times read directly as the engine's
+//! speedup curve, synchronisation cost (null messages, horizon stalls)
+//! included. The serial oracle is measured alongside the width-1 run so
+//! the threaded engine's fixed overhead over plain event dispatch is
+//! visible too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const WIDTHS: [u32; 4] = [1, 2, 4, 8];
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_pdes");
+    for width in WIDTHS {
+        group.bench_with_input(
+            BenchmarkId::new("partitions", width),
+            &width,
+            |b, &width| {
+                b.iter(|| {
+                    let (checksum, events) = bench::pdes_scenario::run(width);
+                    checksum ^ events
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_pdes_serial_oracle");
+    for width in WIDTHS {
+        group.bench_with_input(
+            BenchmarkId::new("partitions", width),
+            &width,
+            |b, &width| {
+                b.iter(|| {
+                    let (checksum, events) = bench::pdes_scenario::run_serial(width);
+                    checksum ^ events
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel, bench_oracle);
+criterion_main!(benches);

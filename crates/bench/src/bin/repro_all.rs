@@ -41,6 +41,16 @@
 //! selected `--wheel-backend` structure, or the native one, becomes the
 //! per-base inner structure). Sharding never changes the trace: the
 //! artifacts are byte-identical across any `N`.
+//!
+//! `--des-threads N` runs every experiment through the conservative
+//! parallel DES engine: the kernel streams its trace from one partition
+//! while `N` scoped worker partitions fold the analysis, synchronised by
+//! the engine's bounded channels. Artifacts and the sim-plane metrics
+//! are byte-identical to the serial pipeline for every `N`; only the
+//! wall-plane `des_*` counters (null messages, horizon stalls, per-
+//! partition busy/idle) differ. Composes with `--faults`, `--shards`
+//! and a single `--wheel-backend`; incompatible with `--serial`,
+//! `--collected` and `--wheel-backend=all`.
 
 use timerstudy::experiment::repro_duration;
 use timerstudy::{Backend, FaultSpec};
@@ -82,6 +92,25 @@ fn backend_mode(args: &[String]) -> BackendMode {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+/// Parses `--des-threads N` / `--des-threads=N`.
+fn des_threads(args: &[String]) -> Option<u16> {
+    let value = args
+        .iter()
+        .position(|a| a == "--des-threads")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--des-threads=").map(str::to_owned))
+        })?;
+    match value.parse::<u16>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("--des-threads {value}: expected an integer >= 1");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -199,9 +228,35 @@ fn main() {
         eprintln!("--wheel-backend runs on the cached parallel path; it cannot be combined with --serial, --collected, or --faults");
         std::process::exit(2);
     }
+    let des = des_threads(&args);
+    if des.is_some() && (serial || collected) {
+        eprintln!("--des-threads runs on the cached parallel path; it cannot be combined with --serial or --collected");
+        std::process::exit(2);
+    }
+    if des.is_some() && backend == BackendMode::All {
+        eprintln!(
+            "--des-threads cannot be combined with --wheel-backend=all (force one backend instead)"
+        );
+        std::process::exit(2);
+    }
+    // The one backend a --des-threads run forces (native unless
+    // --wheel-backend/--shards chose another); unused otherwise.
+    let des_backend = match backend {
+        BackendMode::One(b) => b,
+        _ => Backend::Native,
+    };
     let duration = repro_duration() * scale;
     let threads = if serial || collected {
         1
+    } else if let Some(n) = des {
+        // The outer pool divides by the inner analysis fan-out.
+        timerstudy::parallel::default_threads_for(&timerstudy::figures::paper_specs_configured(
+            duration,
+            SEED,
+            faults,
+            des_backend,
+            n,
+        ))
     } else {
         timerstudy::parallel::default_threads(9)
     };
@@ -212,6 +267,8 @@ fn main() {
             "collected oracle path".to_owned()
         } else if serial {
             "serial reference path".to_owned()
+        } else if let Some(n) = des {
+            format!("parallel, up to {threads} threads, {n} DES analysis partitions each")
         } else {
             format!("parallel, up to {threads} threads")
         },
@@ -220,7 +277,23 @@ fn main() {
     let started = std::time::Instant::now();
     // Per-backend summary lines, printed with the run summary.
     let mut backend_summaries: Vec<String> = Vec::new();
-    let (mode, (results, artifacts)) = if !faults.is_none() {
+    let (mode, (results, artifacts)) = if let Some(n) = des {
+        let run = timerstudy::figures::reproduce_all_configured_with_results(
+            duration,
+            SEED,
+            faults,
+            des_backend,
+            n,
+        );
+        if backend != BackendMode::Default {
+            backend_summaries.push(format!(
+                "backend {}: {}",
+                des_backend.label(),
+                wheel_counter_summary(&run.0)
+            ));
+        }
+        ("pdes", run)
+    } else if !faults.is_none() {
         (
             "faulted",
             timerstudy::figures::reproduce_all_faulted_with_results(duration, SEED, faults),

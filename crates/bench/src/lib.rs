@@ -4,6 +4,8 @@ use std::time::Instant;
 
 use timerstudy::ExperimentResult;
 
+pub mod pdes_scenario;
+
 /// Prints the one-line `[telemetry] stage=...` summary every reproduction
 /// binary emits when it finishes. Goes to stderr: stdout is reserved for
 /// the artifact text, which the golden-output tests compare byte-for-byte.

@@ -1,0 +1,153 @@
+//! The shared synthetic workload behind the `des_pdes` benchmarks: a
+//! heavy timer calendar split across `N` conservative-DES partitions.
+//!
+//! The *total* work is fixed — the same timer population and the same
+//! per-expiry handler cost regardless of the partition count — so the
+//! `des_pdes/1` vs `des_pdes/8` numbers are directly comparable and
+//! their ratio is the engine's scaling on this machine. Partitions are
+//! arranged in a ring (every third timer migrates clockwise with a
+//! 20 ms lookahead), so widths above 1 also pay the real synchronisation
+//! cost: null messages, horizon stalls, cross-edge envelopes.
+
+use des::pdes::{Executor, PartitionId, Process, SendEffects};
+use des::Calendar;
+use simtime::{SimDuration, SimInstant, SimRng};
+
+/// Total timers across all partitions, whatever the width.
+pub const TOTAL_TIMERS: u64 = 32_768;
+
+/// Mixing rounds per expiry — the stand-in for timer-handler work.
+/// Heavy enough that the calendar pop is not the whole story, the way a
+/// real expiry (TCP retransmit bookkeeping, watchdog re-arm) is not
+/// free either — and heavy enough that the engine's per-window
+/// synchronisation cost is amortised rather than dominant.
+const WORK_ROUNDS: u64 = 512;
+
+/// The span the timers are seeded over.
+const SPAN_MS: u64 = 2_000;
+
+/// One partition of the synthetic calendar.
+pub struct HeavyBase {
+    cal: Calendar<u64>,
+    /// Clockwise ring neighbour, when there is more than one partition.
+    ring_to: Option<PartitionId>,
+    latency: SimDuration,
+    /// Deterministic digest of everything this partition executed; the
+    /// benchmarks fold it into their sink so work is not optimised away.
+    pub checksum: u64,
+    pub events: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    for i in 0..WORK_ROUNDS {
+        x = x
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(31)
+            .wrapping_add(i);
+    }
+    x
+}
+
+impl HeavyBase {
+    fn execute(&mut self, at: SimInstant, id: u64, fx: &mut SendEffects<u64>) {
+        self.checksum ^= mix(at.as_nanos() ^ id);
+        self.events += 1;
+        // Every third timer hops clockwise once; the tag bit marks an
+        // already-migrated timer so it never hops again.
+        const MIGRATED: u64 = 1 << 63;
+        if id & MIGRATED == 0 && id.is_multiple_of(3) {
+            if let Some(to) = self.ring_to {
+                fx.send(to, at.saturating_add(self.latency), id | MIGRATED);
+            }
+        }
+    }
+}
+
+impl Process for HeavyBase {
+    type Msg = u64;
+
+    fn next_local(&mut self) -> Option<SimInstant> {
+        self.cal.peek_time()
+    }
+
+    fn execute_local(&mut self, fx: &mut SendEffects<u64>) {
+        let (at, id) = self.cal.pop().expect("scheduled timer");
+        self.execute(at, id, fx);
+    }
+
+    fn receive(&mut self, at: SimInstant, _from: PartitionId, id: u64, fx: &mut SendEffects<u64>) {
+        self.execute(at, id, fx);
+    }
+}
+
+/// Builds the fixed-total-work scenario on `partitions` partitions.
+pub fn build(partitions: u32) -> Executor<HeavyBase> {
+    // Coarse lookahead relative to the seeded span: ~100 safe windows
+    // over the run, each wide enough to hold a real batch of expiries.
+    let latency = SimDuration::from_millis(20);
+    let mut rng = SimRng::new(0xdead_beef);
+    let per = TOTAL_TIMERS / u64::from(partitions);
+    let mut bases = Vec::new();
+    for p in 0..partitions {
+        let mut cal = Calendar::new();
+        for i in 0..per {
+            let at = SimInstant::BOOT + SimDuration::from_micros(rng.range_u64(1, SPAN_MS * 1000));
+            cal.post(at, (u64::from(p) << 32) | i);
+        }
+        bases.push(HeavyBase {
+            cal,
+            ring_to: (partitions > 1).then(|| PartitionId((p + 1) % partitions)),
+            latency,
+            checksum: 0,
+            events: 0,
+        });
+    }
+    let mut exec = Executor::new(bases);
+    if partitions > 1 {
+        for p in 0..partitions {
+            exec = exec.edge(PartitionId(p), PartitionId((p + 1) % partitions), latency);
+        }
+    }
+    exec
+}
+
+/// Runs the scenario to completion on scoped threads and returns the
+/// folded checksum (the benchmark sink) plus total events executed.
+pub fn run(partitions: u32) -> (u64, u64) {
+    let (bases, _report) = build(partitions).run(SimInstant::BOOT + SimDuration::from_secs(10));
+    fold(&bases)
+}
+
+/// [`run`] through the serial oracle, for differential checks.
+pub fn run_serial(partitions: u32) -> (u64, u64) {
+    let (bases, _report) =
+        build(partitions).run_serial(SimInstant::BOOT + SimDuration::from_secs(10));
+    fold(&bases)
+}
+
+fn fold(bases: &[HeavyBase]) -> (u64, u64) {
+    let checksum = bases.iter().fold(0u64, |acc, b| acc ^ b.checksum);
+    let events = bases.iter().map(|b| b.events).sum();
+    (checksum, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_width_executes_the_same_population() {
+        let (sum1, n1) = run(1);
+        assert_eq!(n1, TOTAL_TIMERS, "width 1 has no migrations");
+        for width in [2u32, 4, 8] {
+            let (par_sum, par_n) = run(width);
+            let (ser_sum, ser_n) = run_serial(width);
+            assert_eq!(par_sum, ser_sum, "width {width} diverged from oracle");
+            assert_eq!(par_n, ser_n);
+            // Migrated timers execute twice (once on each side of the
+            // hop), so wider runs do strictly more, never fewer, events.
+            assert!(par_n >= TOTAL_TIMERS / 8 * 8, "width {width} lost timers");
+            let _ = (sum1, n1);
+        }
+    }
+}

@@ -51,6 +51,14 @@ pub struct ExperimentSpec {
     /// identical across backends, but the sim-plane metrics snapshot
     /// (cascades vs revisits vs stale pops) is backend-specific.
     pub backend: wheel::Backend,
+    /// Analysis partitions for the conservative parallel DES engine:
+    /// `0` keeps the historical single-threaded pipeline; `N > 0` fans
+    /// the trace out to up to `N` scoped threads through `des::pdes`
+    /// bounded channels. Reports, artifacts and the sim-plane snapshot
+    /// are byte-identical at any value (pinned by
+    /// `tests/pdes_determinism.rs`); the knob is still part of the cache
+    /// key so the differential tests exercise real runs, not replays.
+    pub des_threads: u16,
 }
 
 impl ExperimentSpec {
@@ -64,6 +72,7 @@ impl ExperimentSpec {
             seed,
             faults: FaultSpec::none(),
             backend: wheel::Backend::Native,
+            des_threads: 0,
         }
     }
 
@@ -86,6 +95,14 @@ impl ExperimentSpec {
     /// metrics, so they must never alias in the memo table.
     pub const fn with_shards(mut self, shards: u16) -> Self {
         self.backend = self.backend.with_shards(shards);
+        self
+    }
+
+    /// The same experiment with its trace analysis fanned out across
+    /// `threads` partitions of the conservative parallel DES engine
+    /// (`0` restores the serial pipeline).
+    pub const fn with_des_threads(mut self, threads: u16) -> Self {
+        self.des_threads = threads;
         self
     }
 
@@ -179,6 +196,92 @@ impl TraceSink for ChunkedAnalyzerSink {
     }
 }
 
+/// A workload run to completion on either kernel model, with uniform
+/// access to the measurements every execution path extracts.
+enum FinishedKernel {
+    Linux(Box<linuxsim::LinuxKernel>),
+    Vista(Box<vistasim::VistaKernel>),
+}
+
+impl FinishedKernel {
+    /// Runs `spec`'s workload with `sink` receiving the trace, under the
+    /// `stage.workload` span.
+    fn run(spec: &ExperimentSpec, sink: Box<dyn TraceSink>) -> Self {
+        let _workload_span = telemetry::span("stage.workload");
+        let net = spec.faults.net;
+        match spec.os {
+            Os::Linux => FinishedKernel::Linux(Box::new(workloads::run_linux_backend(
+                spec.workload,
+                spec.seed,
+                spec.duration,
+                sink,
+                net,
+                spec.backend,
+            ))),
+            Os::Vista => FinishedKernel::Vista(Box::new(workloads::run_vista_backend(
+                spec.workload,
+                spec.seed,
+                spec.duration,
+                sink,
+                net,
+                spec.backend,
+            ))),
+        }
+    }
+
+    fn wakeups(&self) -> u64 {
+        match self {
+            FinishedKernel::Linux(k) => k.cpu().wakeups(),
+            FinishedKernel::Vista(k) => k.cpu().wakeups(),
+        }
+    }
+
+    fn busy(&self) -> SimDuration {
+        match self {
+            FinishedKernel::Linux(k) => k.cpu().busy_time(),
+            FinishedKernel::Vista(k) => k.cpu().busy_time(),
+        }
+    }
+
+    fn records(&self) -> u64 {
+        match self {
+            FinishedKernel::Linux(k) => k.log().records_logged(),
+            FinishedKernel::Vista(k) => k.log().records_logged(),
+        }
+    }
+
+    fn logging_overhead(&self) -> SimDuration {
+        match self {
+            FinishedKernel::Linux(k) => k.log().modeled_overhead(),
+            FinishedKernel::Vista(k) => k.log().modeled_overhead(),
+        }
+    }
+
+    fn strings(&self) -> &trace::StringTable {
+        match self {
+            FinishedKernel::Linux(k) => k.log().strings(),
+            FinishedKernel::Vista(k) => k.log().strings(),
+        }
+    }
+
+    fn sink_mut(&mut self) -> &mut dyn TraceSink {
+        match self {
+            FinishedKernel::Linux(k) => k.log_mut().sink_mut(),
+            FinishedKernel::Vista(k) => k.log_mut().sink_mut(),
+        }
+    }
+
+    /// The kernel model's minimum cross-partition event latency: the
+    /// lookahead a conservative DES partitioning of this kernel can
+    /// promise (one jiffy on Linux, one tick on Vista).
+    fn des_lookahead(&self) -> SimDuration {
+        match self {
+            FinishedKernel::Linux(k) => k.des_lookahead(),
+            FinishedKernel::Vista(k) => k.des_lookahead(),
+        }
+    }
+}
+
 /// The analyzer configuration matching the paper's treatment of each OS.
 pub fn analyzer_config(os: Os, workload: Workload) -> AnalyzerConfig {
     let mut cfg = match os {
@@ -206,8 +309,13 @@ pub fn run_experiment(spec: ExperimentSpec) -> ExperimentResult {
 }
 
 /// Runs one experiment with an explicit analyzer configuration (used by
-/// the classifier-tolerance ablation).
+/// the classifier-tolerance ablation). `spec.des_threads > 0` routes
+/// through the conservative parallel DES fan-out; the results are
+/// byte-identical either way.
 pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> ExperimentResult {
+    if spec.des_threads > 0 {
+        return run_experiment_pdes_with(spec, cfg);
+    }
     let _experiment_span = telemetry::span("stage.experiment");
     telemetry::global().add("experiments_run_total", 1);
     // Everything sim-plane recorded below (wheel, trace, netsim, virtual
@@ -216,78 +324,50 @@ pub fn run_experiment_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> Experim
     let (mut result, metrics) = telemetry::sim::scoped(|| {
         let analyzer: Box<dyn TraceSink> =
             Box::new(ChunkedAnalyzerSink::new(TraceAnalyzer::new(cfg)));
-        // The fault adaptor is installed only when a trace-plane fault is
-        // active, so a clean spec's sink chain is structurally identical to
-        // the pre-fault-plane one.
-        let trace_faulted = !spec.faults.drops.is_none() || !spec.faults.clock.is_none();
-        let sink: Box<dyn TraceSink> = if trace_faulted {
-            Box::new(FaultSink::new(
-                analyzer,
-                spec.faults.drops,
-                spec.faults.clock,
-                spec.faults.seed,
-            ))
-        } else {
-            analyzer
-        };
-        let net = spec.faults.net;
-        let (mut report, wakeups, busy, records, logging_overhead, dropped) = match spec.os {
-            Os::Linux => {
-                let mut kernel = {
-                    let _workload_span = telemetry::span("stage.workload");
-                    workloads::run_linux_backend(
-                        spec.workload,
-                        spec.seed,
-                        spec.duration,
-                        sink,
-                        net,
-                        spec.backend,
-                    )
-                };
-                let _analysis_span = telemetry::span("stage.analysis");
-                let wakeups = kernel.cpu().wakeups();
-                let busy = kernel.cpu().busy_time();
-                let records = kernel.log().records_logged();
-                let overhead = kernel.log().modeled_overhead();
-                let (analyzer, dropped) = recover_analyzer(kernel.log_mut().sink_mut());
-                let report = analyzer.finish(kernel.log().strings());
-                (report, wakeups, busy, records, overhead, dropped)
-            }
-            Os::Vista => {
-                let mut kernel = {
-                    let _workload_span = telemetry::span("stage.workload");
-                    workloads::run_vista_backend(
-                        spec.workload,
-                        spec.seed,
-                        spec.duration,
-                        sink,
-                        net,
-                        spec.backend,
-                    )
-                };
-                let _analysis_span = telemetry::span("stage.analysis");
-                let wakeups = kernel.cpu().wakeups();
-                let busy = kernel.cpu().busy_time();
-                let records = kernel.log().records_logged();
-                let overhead = kernel.log().modeled_overhead();
-                let (analyzer, dropped) = recover_analyzer(kernel.log_mut().sink_mut());
-                let report = analyzer.finish(kernel.log().strings());
-                (report, wakeups, busy, records, overhead, dropped)
-            }
-        };
+        let mut kernel = FinishedKernel::run(&spec, wrap_in_faults(&spec, analyzer));
+        let _analysis_span = telemetry::span("stage.analysis");
+        let (analyzer, dropped) = recover_analyzer(kernel.sink_mut());
+        let mut report = analyzer.finish(kernel.strings());
         report.summary.dropped_records = dropped;
-        ExperimentResult {
-            spec,
-            report,
-            wakeups,
-            busy,
-            records,
-            logging_overhead,
-            metrics: telemetry::SimSnapshot::empty(),
-        }
+        finish_result(spec, report, &kernel)
     });
     result.metrics = metrics;
     result
+}
+
+/// Installs the fault adaptor only when a trace-plane fault is active,
+/// so a clean spec's sink chain is structurally identical to the
+/// pre-fault-plane one.
+fn wrap_in_faults(spec: &ExperimentSpec, sink: Box<dyn TraceSink>) -> Box<dyn TraceSink> {
+    let trace_faulted = !spec.faults.drops.is_none() || !spec.faults.clock.is_none();
+    if trace_faulted {
+        Box::new(FaultSink::new(
+            sink,
+            spec.faults.drops,
+            spec.faults.clock,
+            spec.faults.seed,
+        ))
+    } else {
+        sink
+    }
+}
+
+/// Assembles the [`ExperimentResult`] every execution path shares (the
+/// sim snapshot is patched in by the caller's `telemetry::sim::scoped`).
+fn finish_result(
+    spec: ExperimentSpec,
+    report: Report,
+    kernel: &FinishedKernel,
+) -> ExperimentResult {
+    ExperimentResult {
+        spec,
+        report,
+        wakeups: kernel.wakeups(),
+        busy: kernel.busy(),
+        records: kernel.records(),
+        logging_overhead: kernel.logging_overhead(),
+        metrics: telemetry::SimSnapshot::empty(),
+    }
 }
 
 /// Recovers the analyzer (and any fault adaptor's drop count) from the
@@ -310,6 +390,212 @@ fn take_analyzer(sink: &mut dyn TraceSink) -> TraceAnalyzer {
         .and_then(|a| a.downcast_mut::<ChunkedAnalyzerSink>())
         .and_then(ChunkedAnalyzerSink::take)
         .expect("experiment sink is always a ChunkedAnalyzerSink")
+}
+
+/// Chunks in flight per PDES worker channel. Each envelope carries an
+/// `Arc` of one [`ANALYSIS_CHUNK_EVENTS`] chunk (shared across workers),
+/// so the bound caps resident trace data while still decoupling the
+/// kernel from analysis scheduling.
+const PDES_CHUNK_CHANNEL_DEPTH: usize = 32;
+
+/// The producer half of the parallel-DES analysis plane: a sink that
+/// mirrors [`ChunkedAnalyzerSink`] *exactly* — same chunk boundaries,
+/// same `AnalysisResidentEventsHigh` gauge at the same flush points, on
+/// the kernel's thread — but ships each finished chunk through one
+/// `des::pdes` bounded edge per worker partition instead of folding it
+/// locally. The edge timestamp is the running maximum event time, which
+/// keeps the edge clock monotone even under clock-jitter faults.
+struct PdesFanoutSink {
+    outlets: Vec<des::pdes::Outlet<std::sync::Arc<Vec<Event>>>>,
+    buf: Vec<Event>,
+    clock: SimInstant,
+    chunks_sent: u64,
+}
+
+impl PdesFanoutSink {
+    fn new(outlets: Vec<des::pdes::Outlet<std::sync::Arc<Vec<Event>>>>) -> Self {
+        PdesFanoutSink {
+            outlets,
+            buf: Vec::with_capacity(ANALYSIS_CHUNK_EVENTS),
+            clock: SimInstant::BOOT,
+            chunks_sent: 0,
+        }
+    }
+
+    /// Gauges the buffer fill and ships it as one chunk — the identical
+    /// observable behaviour to [`ChunkedAnalyzerSink::flush`], which is
+    /// what keeps the sim snapshot byte-identical to the serial path.
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        telemetry::sim::gauge_max(
+            telemetry::SimGauge::AnalysisResidentEventsHigh,
+            self.buf.len() as u64,
+        );
+        for event in &self.buf {
+            self.clock = self.clock.max(event.ts);
+        }
+        let chunk = std::sync::Arc::new(std::mem::take(&mut self.buf));
+        self.buf = Vec::with_capacity(ANALYSIS_CHUNK_EVENTS);
+        for outlet in &mut self.outlets {
+            outlet.send(self.clock, chunk.clone());
+        }
+        self.chunks_sent += 1;
+    }
+
+    /// Flushes the tail chunk and closes every edge (end of stream).
+    fn finish(&mut self) -> u64 {
+        self.flush();
+        for outlet in &mut self.outlets {
+            outlet.close();
+        }
+        self.chunks_sent
+    }
+}
+
+impl TraceSink for PdesFanoutSink {
+    fn record(&mut self, event: &Event) {
+        self.buf.push(*event);
+        if self.buf.len() >= ANALYSIS_CHUNK_EVENTS {
+            self.flush();
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// What one PDES analysis worker reports back besides its folded parts.
+struct PdesWorkerStats {
+    chunks: u64,
+    stalls: u64,
+    idle_ns: u64,
+    busy_ns: u64,
+}
+
+/// One analysis partition: drains its inlet in timestamp order and folds
+/// every chunk through its assigned analyzer parts. Pure consumer — it
+/// records nothing on the sim plane, which is thread-local to the kernel.
+fn pdes_worker(
+    mut inlet: des::pdes::Inlet<std::sync::Arc<Vec<Event>>>,
+    mut parts: Vec<(usize, analysis::AnalyzerPart)>,
+) -> (Vec<(usize, analysis::AnalyzerPart)>, PdesWorkerStats) {
+    let started = std::time::Instant::now();
+    let mut chunks = 0u64;
+    loop {
+        while let Some((_, _, chunk)) = inlet.pop_pending() {
+            for (_, part) in parts.iter_mut() {
+                part.push_chunk(&chunk);
+            }
+            chunks += 1;
+        }
+        // A closed edge means end of stream; the pending set above is
+        // already drained, so the fold is complete.
+        if inlet.horizon().is_none() {
+            break;
+        }
+        if !inlet.wait() {
+            break;
+        }
+    }
+    while let Some((_, _, chunk)) = inlet.pop_pending() {
+        for (_, part) in parts.iter_mut() {
+            part.push_chunk(&chunk);
+        }
+        chunks += 1;
+    }
+    let idle_ns = inlet.idle_ns();
+    let stats = PdesWorkerStats {
+        chunks,
+        stalls: inlet.stalls(),
+        idle_ns,
+        busy_ns: (started.elapsed().as_nanos() as u64).saturating_sub(idle_ns),
+    };
+    (parts, stats)
+}
+
+/// [`run_experiment_with`] through the conservative parallel DES engine:
+/// the kernel runs on the calling thread (the sim plane is thread-local)
+/// feeding a [`PdesFanoutSink`], while up to `spec.des_threads` scoped
+/// worker threads fold the analyzer's independent parts over the
+/// identical chunk stream. Reports and sim snapshots are byte-identical
+/// to the serial pipeline; only wall-plane `des_*` metrics differ.
+fn run_experiment_pdes_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> ExperimentResult {
+    use analysis::{assemble_report, split_analyzer, AnalyzerPart, ANALYZER_PART_COUNT};
+    use des::pdes::{channel, PartitionId};
+
+    let _experiment_span = telemetry::span("stage.experiment");
+    telemetry::global().add("experiments_run_total", 1);
+    let workers = (spec.des_threads as usize).clamp(1, ANALYZER_PART_COUNT);
+    let (mut result, metrics) = telemetry::sim::scoped(|| {
+        std::thread::scope(|scope| {
+            // Round-robin the analyzer parts over the worker partitions,
+            // tagged with their canonical index for exact reassembly.
+            let mut assigned: Vec<Vec<(usize, AnalyzerPart)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (idx, part) in split_analyzer(&cfg).into_iter().enumerate() {
+                assigned[idx % workers].push((idx, part));
+            }
+            let mut outlets = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for slot in assigned {
+                // One edge per worker: kernel partition -> analysis
+                // partition, FIFO in the chunk-clock timestamps.
+                let (mut outs, inlet) = channel(&[PartitionId(0)], PDES_CHUNK_CHANNEL_DEPTH);
+                outlets.push(outs.pop().expect("one outlet per declared edge"));
+                handles.push(scope.spawn(move || pdes_worker(inlet, slot)));
+            }
+
+            let fanout: Box<dyn TraceSink> = Box::new(PdesFanoutSink::new(outlets));
+            let mut kernel = FinishedKernel::run(&spec, wrap_in_faults(&spec, fanout));
+            let _analysis_span = telemetry::span("stage.analysis");
+            let (chunks_sent, dropped) = finish_fanout(kernel.sink_mut());
+
+            let mut collected: Vec<(usize, AnalyzerPart)> = Vec::with_capacity(ANALYZER_PART_COUNT);
+            let reg = telemetry::global();
+            for handle in handles {
+                let (parts, stats) = handle.join().expect("pdes analysis worker panicked");
+                collected.extend(parts);
+                reg.add("des_partition_events_total", stats.chunks);
+                reg.add("des_horizon_stalls_total", stats.stalls);
+                reg.add("des_partition_idle_ns_total", stats.idle_ns);
+                reg.add("des_partition_busy_ns_total", stats.busy_ns);
+                debug_assert_eq!(stats.chunks, chunks_sent, "a worker missed chunks");
+            }
+            reg.gauge_max("des_partitions", workers as u64);
+            reg.gauge_max("des_min_lookahead_ns", kernel.des_lookahead().as_nanos());
+            collected.sort_by_key(|&(idx, _)| idx);
+            let parts = collected.into_iter().map(|(_, part)| part).collect();
+            let mut report = assemble_report(parts, kernel.strings());
+            report.summary.dropped_records = dropped;
+            finish_result(spec, report, &kernel)
+        })
+    });
+    result.metrics = metrics;
+    result
+}
+
+/// Recovers the fan-out sink (through any fault adaptor), flushes its
+/// tail chunk, closes every edge, and returns `(chunks sent, records
+/// the fault adaptor dropped)`.
+fn finish_fanout(sink: &mut dyn TraceSink) -> (u64, u64) {
+    if let Some(fault) = sink
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<FaultSink>())
+    {
+        let dropped = fault.dropped();
+        return (take_fanout(fault.inner_mut()), dropped);
+    }
+    (take_fanout(sink), 0)
+}
+
+fn take_fanout(sink: &mut dyn TraceSink) -> u64 {
+    sink.as_any_mut()
+        .and_then(|a| a.downcast_mut::<PdesFanoutSink>())
+        .map(PdesFanoutSink::finish)
+        .expect("pdes sink is always a PdesFanoutSink")
 }
 
 /// Runs a batch of experiments strictly serially, in spec order.
@@ -342,72 +628,12 @@ pub fn run_experiment_collected_with(
     telemetry::global().add("experiments_run_total", 1);
     let (mut result, metrics) = telemetry::sim::scoped(|| {
         let collect: Box<dyn TraceSink> = Box::new(CollectSink::default());
-        let trace_faulted = !spec.faults.drops.is_none() || !spec.faults.clock.is_none();
-        let sink: Box<dyn TraceSink> = if trace_faulted {
-            Box::new(FaultSink::new(
-                collect,
-                spec.faults.drops,
-                spec.faults.clock,
-                spec.faults.seed,
-            ))
-        } else {
-            collect
-        };
-        let net = spec.faults.net;
-        let (mut report, wakeups, busy, records, logging_overhead, dropped) = match spec.os {
-            Os::Linux => {
-                let mut kernel = {
-                    let _workload_span = telemetry::span("stage.workload");
-                    workloads::run_linux_backend(
-                        spec.workload,
-                        spec.seed,
-                        spec.duration,
-                        sink,
-                        net,
-                        spec.backend,
-                    )
-                };
-                let _analysis_span = telemetry::span("stage.analysis");
-                let wakeups = kernel.cpu().wakeups();
-                let busy = kernel.cpu().busy_time();
-                let records = kernel.log().records_logged();
-                let overhead = kernel.log().modeled_overhead();
-                let (events, dropped) = recover_collected(kernel.log_mut().sink_mut());
-                let report = analyze_collected(events, cfg, kernel.log().strings());
-                (report, wakeups, busy, records, overhead, dropped)
-            }
-            Os::Vista => {
-                let mut kernel = {
-                    let _workload_span = telemetry::span("stage.workload");
-                    workloads::run_vista_backend(
-                        spec.workload,
-                        spec.seed,
-                        spec.duration,
-                        sink,
-                        net,
-                        spec.backend,
-                    )
-                };
-                let _analysis_span = telemetry::span("stage.analysis");
-                let wakeups = kernel.cpu().wakeups();
-                let busy = kernel.cpu().busy_time();
-                let records = kernel.log().records_logged();
-                let overhead = kernel.log().modeled_overhead();
-                let (events, dropped) = recover_collected(kernel.log_mut().sink_mut());
-                let report = analyze_collected(events, cfg, kernel.log().strings());
-                (report, wakeups, busy, records, overhead, dropped)
-            }
-        };
+        let mut kernel = FinishedKernel::run(&spec, wrap_in_faults(&spec, collect));
+        let _analysis_span = telemetry::span("stage.analysis");
+        let (events, dropped) = recover_collected(kernel.sink_mut());
+        let mut report = analyze_collected(events, cfg, kernel.strings());
         report.summary.dropped_records = dropped;
-        ExperimentResult {
-            spec,
-            report,
-            wakeups,
-            busy,
-            records,
-            logging_overhead,
-            metrics: telemetry::SimSnapshot::empty(),
-        }
+        finish_result(spec, report, &kernel)
     });
     result.metrics = metrics;
     result

@@ -257,6 +257,29 @@ pub fn paper_specs(duration: simtime::SimDuration, seed: u64) -> Vec<ExperimentS
     specs
 }
 
+/// [`paper_specs`] with every orthogonal knob applied to every
+/// experiment: a fault plane, a forced timer-queue backend, and the
+/// conservative parallel-DES analysis plane (`des_threads` worker
+/// partitions; 0 keeps the historical single-threaded pipeline). All
+/// three are part of the experiment cache key, so configured runs never
+/// alias differently-configured ones.
+pub fn paper_specs_configured(
+    duration: simtime::SimDuration,
+    seed: u64,
+    faults: crate::FaultSpec,
+    backend: wheel::Backend,
+    des_threads: u16,
+) -> Vec<ExperimentSpec> {
+    paper_specs(duration, seed)
+        .into_iter()
+        .map(|s| {
+            s.with_faults(faults)
+                .with_backend(backend)
+                .with_des_threads(des_threads)
+        })
+        .collect()
+}
+
 /// [`paper_specs`] with a fault plane attached to every experiment
 /// (the `repro_all --faults` path).
 pub fn paper_specs_faulted(
@@ -264,10 +287,7 @@ pub fn paper_specs_faulted(
     seed: u64,
     faults: crate::FaultSpec,
 ) -> Vec<ExperimentSpec> {
-    paper_specs(duration, seed)
-        .into_iter()
-        .map(|s| s.with_faults(faults))
-        .collect()
+    paper_specs_configured(duration, seed, faults, wheel::Backend::Native, 0)
 }
 
 /// [`paper_specs`] with every experiment forced onto one timer-queue
@@ -277,10 +297,7 @@ pub fn paper_specs_backend(
     seed: u64,
     backend: wheel::Backend,
 ) -> Vec<ExperimentSpec> {
-    paper_specs(duration, seed)
-        .into_iter()
-        .map(|s| s.with_backend(backend))
-        .collect()
+    paper_specs_configured(duration, seed, crate::FaultSpec::none(), backend, 0)
 }
 
 /// Assembles the paper's artifacts from results laid out as
@@ -411,6 +428,31 @@ pub fn reproduce_all_backend_with_results(
     backend: wheel::Backend,
 ) -> (Vec<ExperimentResult>, Vec<Artifact>) {
     let results = crate::cache::global().run_all(&paper_specs_backend(duration, seed, backend));
+    let artifacts = assemble(&results);
+    (results, artifacts)
+}
+
+/// The fully-configured reproduction: faults, a forced backend, and the
+/// parallel-DES analysis plane, composed (the `repro_all --des-threads`
+/// path). Runs through the process-wide cache; with
+/// `FaultSpec::none()`, `Backend::Native` and `des_threads == 0` this is
+/// exactly [`reproduce_all`]. The artifacts are byte-identical across
+/// every `des_threads` value — the parallel engine only changes *who*
+/// folds the analysis, never the stream it folds.
+pub fn reproduce_all_configured_with_results(
+    duration: simtime::SimDuration,
+    seed: u64,
+    faults: crate::FaultSpec,
+    backend: wheel::Backend,
+    des_threads: u16,
+) -> (Vec<ExperimentResult>, Vec<Artifact>) {
+    let results = crate::cache::global().run_all(&paper_specs_configured(
+        duration,
+        seed,
+        faults,
+        backend,
+        des_threads,
+    ));
     let artifacts = assemble(&results);
     (results, artifacts)
 }

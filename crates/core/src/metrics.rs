@@ -30,6 +30,9 @@ pub fn spec_label(spec: &ExperimentSpec) -> String {
         label.push_str(" backend=");
         label.push_str(&spec.backend.label());
     }
+    if spec.des_threads != 0 {
+        label.push_str(&format!(" des={}", spec.des_threads));
+    }
     label
 }
 

@@ -1,0 +1,789 @@
+//! The conservative executor and its serial differential oracle.
+//!
+//! An [`Executor`] owns one [`Process`] per partition plus the directed
+//! edges (with per-edge lookahead) messages may travel. Both runners —
+//! [`run`](Executor::run) on scoped threads and
+//! [`run_serial`](Executor::run_serial) on the calling thread — apply
+//! the *same* scheduling rule, so each partition executes the identical
+//! item sequence and finishes in the identical state:
+//!
+//! * Work items order by `(time, class, sender, seq)` where local events
+//!   (class 0) precede received messages (class 1) at the same instant,
+//!   and same-instant messages order by `(sender partition, per-edge
+//!   sequence)`.
+//! * A local event at `t` is safe once `t ≤ horizon` (a message may
+//!   still arrive *at* the horizon but would order after the local).
+//! * A received message at `t` is safe only once `t < horizon` —
+//!   strictly: an edge clock equal to `t` still permits a same-instant
+//!   message that must order first. This is the rule that makes a
+//!   zero-lookahead edge stall at the boundary instead of reordering.
+//! * While blocked, a partition promises `min(next work, horizon) +
+//!   lookahead` on each out-edge (a null message when it advances the
+//!   edge clock), which is what lets its neighbours keep running.
+//!
+//! A cycle made *entirely* of zero-lookahead edges can never advance its
+//! own horizon, so [`Executor::edge`] rejects one at construction time
+//! rather than deadlocking at run time.
+//!
+//! The wall-plane counters `des_partition_events_total`,
+//! `des_null_messages_total`, `des_horizon_stalls_total` and the
+//! busy/idle span pair are folded into the process registry once per
+//! partition at exit; nothing here touches the deterministic sim plane.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use simtime::{SimDuration, SimInstant};
+
+use super::pipe::{channel, Inlet, Outlet};
+use super::{PartitionId, DEFAULT_CHANNEL_DEPTH};
+
+/// One partition's sending side: for each out-edge, the destination
+/// partition index, the edge's lookahead, and the outlet to send on.
+type SenderKit<M> = Vec<(u32, SimDuration, Outlet<M>)>;
+
+/// One partition's behaviour: local events plus cross-partition messages.
+///
+/// Implementations must be deterministic functions of their own state —
+/// the engine guarantees the call sequence is identical at any thread
+/// count, and that guarantee is only worth anything if the process never
+/// consults wall clocks, thread identity, or global mutable state.
+pub trait Process: Send {
+    /// The cross-partition event type (a migrated timer, a packet
+    /// delivery, an analysis chunk).
+    type Msg: Send;
+
+    /// The instant of this partition's earliest pending local event.
+    fn next_local(&mut self) -> Option<SimInstant>;
+
+    /// Executes the earliest local event. Outgoing messages go through
+    /// `fx`; each must respect the sending edge's lookahead.
+    fn execute_local(&mut self, fx: &mut SendEffects<Self::Msg>);
+
+    /// Delivers a cross-partition message scheduled for `at`.
+    fn receive(
+        &mut self,
+        at: SimInstant,
+        from: PartitionId,
+        msg: Self::Msg,
+        fx: &mut SendEffects<Self::Msg>,
+    );
+}
+
+/// Collects the messages one execution step wants to send; the runner
+/// routes them (and enforces lookahead) after the step returns.
+pub struct SendEffects<M> {
+    now: SimInstant,
+    sends: Vec<(PartitionId, SimInstant, M)>,
+}
+
+impl<M> SendEffects<M> {
+    fn new(now: SimInstant) -> Self {
+        SendEffects {
+            now,
+            sends: Vec::new(),
+        }
+    }
+
+    /// The instant of the item currently executing.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Schedules `msg` for instant `at` in partition `to`. The runner
+    /// panics if `(self partition → to)` is not a declared edge or if
+    /// `at` violates the edge's lookahead.
+    pub fn send(&mut self, to: PartitionId, at: SimInstant, msg: M) {
+        assert!(
+            at >= self.now,
+            "message sent into the past: {at} < {}",
+            self.now
+        );
+        self.sends.push((to, at, msg));
+    }
+}
+
+/// Wall-clock and protocol accounting for one partition's run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// The partition these numbers describe.
+    pub partition: PartitionId,
+    /// Work items executed (local events plus received messages).
+    pub events: u64,
+    /// Cross-partition messages delivered to this partition.
+    pub msgs_received: u64,
+    /// Cross-partition messages sent by this partition.
+    pub msgs_sent: u64,
+    /// Null messages (pure time promises) sent on this partition's
+    /// out-edges.
+    pub nulls_sent: u64,
+    /// Times this partition blocked at its safe-time horizon.
+    pub stalls: u64,
+    /// Wall nanoseconds spent executing (total minus blocked time).
+    pub busy_ns: u64,
+    /// Wall nanoseconds spent blocked at the horizon.
+    pub idle_ns: u64,
+}
+
+impl PartitionStats {
+    fn new(partition: PartitionId) -> Self {
+        PartitionStats {
+            partition,
+            events: 0,
+            msgs_received: 0,
+            msgs_sent: 0,
+            nulls_sent: 0,
+            stalls: 0,
+            busy_ns: 0,
+            idle_ns: 0,
+        }
+    }
+
+    /// Folds this partition's protocol accounting into the process-wide
+    /// wall-plane registry (bulk, not per event — the registry locks).
+    fn publish(&self) {
+        let reg = telemetry::global();
+        reg.add("des_partition_events_total", self.events);
+        reg.add("des_null_messages_total", self.nulls_sent);
+        reg.add("des_horizon_stalls_total", self.stalls);
+        reg.add("des_partition_busy_ns_total", self.busy_ns);
+        reg.add("des_partition_idle_ns_total", self.idle_ns);
+    }
+}
+
+/// Per-partition accounting for one completed run.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// One entry per partition, in partition order.
+    pub partitions: Vec<PartitionStats>,
+}
+
+impl ExecReport {
+    /// Total work items executed across partitions.
+    pub fn total_events(&self) -> u64 {
+        self.partitions.iter().map(|p| p.events).sum()
+    }
+
+    /// Total null messages sent.
+    pub fn total_nulls(&self) -> u64 {
+        self.partitions.iter().map(|p| p.nulls_sent).sum()
+    }
+
+    /// Total horizon stalls.
+    pub fn total_stalls(&self) -> u64 {
+        self.partitions.iter().map(|p| p.stalls).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EdgeSpec {
+    from: u32,
+    to: u32,
+    lookahead: SimDuration,
+}
+
+/// The conservative runner: processes, edges, and the two run modes.
+pub struct Executor<P: Process> {
+    procs: Vec<P>,
+    edges: Vec<EdgeSpec>,
+    depth: usize,
+}
+
+impl<P: Process> Executor<P> {
+    /// Builds an executor over one process per partition (partition `i`
+    /// is `procs[i]`), with no edges yet.
+    pub fn new(procs: Vec<P>) -> Self {
+        assert!(!procs.is_empty(), "an executor needs >= 1 partition");
+        Executor {
+            procs,
+            edges: Vec::new(),
+            depth: DEFAULT_CHANNEL_DEPTH,
+        }
+    }
+
+    /// Declares a directed edge: partition `from` may send messages to
+    /// partition `to`, always at least `lookahead` past the sender's
+    /// current instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, if the edge already
+    /// exists, or if adding it would close a cycle made entirely of
+    /// zero-lookahead edges (which could never advance its own horizon —
+    /// a guaranteed deadlock, caught here instead of at run time).
+    pub fn edge(mut self, from: PartitionId, to: PartitionId, lookahead: SimDuration) -> Self {
+        let n = self.procs.len() as u32;
+        assert!(from.0 < n && to.0 < n, "edge {from}->{to} out of range");
+        assert!(
+            !self.edges.iter().any(|e| e.from == from.0 && e.to == to.0),
+            "duplicate edge {from}->{to}"
+        );
+        self.edges.push(EdgeSpec {
+            from: from.0,
+            to: to.0,
+            lookahead,
+        });
+        if lookahead == SimDuration::ZERO {
+            assert!(
+                !self.has_zero_lookahead_cycle(),
+                "edge {from}->{to} closes a zero-lookahead cycle"
+            );
+        }
+        self
+    }
+
+    /// Overrides the per-inlet channel bound (default
+    /// [`DEFAULT_CHANNEL_DEPTH`](super::DEFAULT_CHANNEL_DEPTH)).
+    pub fn channel_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// True if the subgraph of zero-lookahead edges contains a cycle.
+    fn has_zero_lookahead_cycle(&self) -> bool {
+        let n = self.procs.len();
+        let mut adj = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.lookahead == SimDuration::ZERO {
+                adj[e.from as usize].push(e.to as usize);
+            }
+        }
+        // Colors: 0 unvisited, 1 on stack, 2 done.
+        let mut color = vec![0u8; n];
+        fn dfs(v: usize, adj: &[Vec<usize>], color: &mut [u8]) -> bool {
+            color[v] = 1;
+            for &w in &adj[v] {
+                if color[w] == 1 || (color[w] == 0 && dfs(w, adj, color)) {
+                    return true;
+                }
+            }
+            color[v] = 2;
+            false
+        }
+        (0..n).any(|v| color[v] == 0 && dfs(v, &adj, &mut color))
+    }
+
+    /// Runs every partition on its own scoped thread until all work at
+    /// or before `end` is executed, then returns the final processes and
+    /// the per-partition accounting.
+    pub fn run(self, end: SimInstant) -> (Vec<P>, ExecReport) {
+        let Executor {
+            procs,
+            edges,
+            depth,
+        } = self;
+        let n = procs.len();
+
+        // Build the fan-in per receiving partition, then distribute the
+        // outlets to their senders.
+        let mut inlets: Vec<Option<Inlet<P::Msg>>> = Vec::with_capacity(n);
+        let mut kits: Vec<SenderKit<P::Msg>> = (0..n).map(|_| Vec::new()).collect();
+        for to in 0..n as u32 {
+            let in_edges: Vec<&EdgeSpec> = edges.iter().filter(|e| e.to == to).collect();
+            let froms: Vec<PartitionId> = in_edges.iter().map(|e| PartitionId(e.from)).collect();
+            let (outs, inlet) = channel(&froms, depth);
+            inlets.push(Some(inlet));
+            for (edge, out) in in_edges.iter().zip(outs) {
+                kits[edge.from as usize].push((to, edge.lookahead, out));
+            }
+        }
+
+        let mut out: Vec<Option<(P, PartitionStats)>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = procs
+                .into_iter()
+                .zip(inlets.iter_mut().map(|i| i.take().expect("inlet built")))
+                .zip(kits.drain(..))
+                .enumerate()
+                .map(|(idx, ((proc, inlet), kit))| {
+                    scope.spawn(move || {
+                        run_partition(PartitionId(idx as u32), proc, inlet, kit, end)
+                    })
+                })
+                .collect();
+            for (slot, handle) in out.iter_mut().zip(handles) {
+                *slot = Some(handle.join().expect("pdes partition panicked"));
+            }
+        });
+
+        let mut procs = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        for slot in out {
+            let (proc, stat) = slot.expect("every partition joined");
+            stat.publish();
+            procs.push(proc);
+            stats.push(stat);
+        }
+        telemetry::global().gauge_max("des_partitions", n as u64);
+        (procs, ExecReport { partitions: stats })
+    }
+
+    /// Runs the identical topology on the calling thread, in global
+    /// timestamp order, applying the same per-partition scheduling rule.
+    /// This is the differential oracle: `run(end)` must leave every
+    /// process in the state `run_serial(end)` does, bit for bit.
+    pub fn run_serial(self, end: SimInstant) -> (Vec<P>, ExecReport) {
+        let Executor {
+            mut procs, edges, ..
+        } = self;
+        let n = procs.len();
+        let mut stats: Vec<PartitionStats> = (0..n)
+            .map(|i| PartitionStats::new(PartitionId(i as u32)))
+            .collect();
+        // Virtual edge clocks (the promises outlets would carry) and
+        // per-edge payload sequence counters, indexed like `edges`.
+        let mut clocks: Vec<SimInstant> = vec![SimInstant::BOOT; edges.len()];
+        let mut seqs: Vec<u64> = vec![0; edges.len()];
+        let mut finished: Vec<bool> = vec![false; n];
+        let mut pending: Vec<BTreeMap<(SimInstant, u32, u64), P::Msg>> =
+            (0..n).map(|_| BTreeMap::new()).collect();
+
+        loop {
+            let mut progressed = false;
+            for p in 0..n {
+                if finished[p] {
+                    continue;
+                }
+                let horizon = serial_horizon(p, &edges, &clocks, &finished);
+                // Execute everything currently safe for this partition.
+                loop {
+                    let local = procs[p].next_local();
+                    let head = pending[p].keys().next().copied();
+                    match select_next(local, head, horizon, end) {
+                        Choice::Local => {
+                            let mut fx = SendEffects::new(local.expect("local chosen"));
+                            procs[p].execute_local(&mut fx);
+                            route_serial(
+                                p,
+                                fx,
+                                &edges,
+                                &mut clocks,
+                                &mut seqs,
+                                &mut pending,
+                                &mut stats,
+                            );
+                            stats[p].events += 1;
+                            progressed = true;
+                        }
+                        Choice::Msg => {
+                            let key = head.expect("msg chosen");
+                            let msg = pending[p].remove(&key).expect("head pending");
+                            let (at, from, _) = key;
+                            let mut fx = SendEffects::new(at);
+                            procs[p].receive(at, PartitionId(from), msg, &mut fx);
+                            route_serial(
+                                p,
+                                fx,
+                                &edges,
+                                &mut clocks,
+                                &mut seqs,
+                                &mut pending,
+                                &mut stats,
+                            );
+                            stats[p].events += 1;
+                            stats[p].msgs_received += 1;
+                            progressed = true;
+                        }
+                        Choice::Blocked | Choice::Idle => break,
+                    }
+                }
+                // Done for good, or promise how far out the quiet lasts.
+                let local = procs[p].next_local();
+                let head = pending[p].keys().next().copied();
+                if is_done(local, head, horizon, end) {
+                    finished[p] = true;
+                    progressed = true;
+                    continue;
+                }
+                if let Some(lb) = promise_floor(local, head, horizon) {
+                    for (idx, e) in edges.iter().enumerate() {
+                        if e.from as usize == p {
+                            let promise = lb.saturating_add(e.lookahead);
+                            if promise > clocks[idx] {
+                                clocks[idx] = promise;
+                                stats[p].nulls_sent += 1;
+                                progressed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if finished.iter().all(|&f| f) {
+                break;
+            }
+            assert!(
+                progressed,
+                "pdes made no progress: a zero-lookahead dependency cycle at run time"
+            );
+        }
+
+        for stat in &stats {
+            stat.publish();
+        }
+        (procs, ExecReport { partitions: stats })
+    }
+}
+
+/// The horizon one partition sees in the serial runner: the minimum
+/// virtual clock over in-edges whose sender has not finished.
+fn serial_horizon(
+    p: usize,
+    edges: &[EdgeSpec],
+    clocks: &[SimInstant],
+    finished: &[bool],
+) -> Option<SimInstant> {
+    edges
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.to as usize == p && !finished[e.from as usize])
+        .map(|(idx, _)| clocks[idx])
+        .min()
+}
+
+/// Routes one execution step's sends in the serial runner: enforce
+/// lookahead, advance the virtual edge clock, assign the per-edge
+/// sequence, and deliver straight into the receiver's pending set.
+fn route_serial<M>(
+    p: usize,
+    fx: SendEffects<M>,
+    edges: &[EdgeSpec],
+    clocks: &mut [SimInstant],
+    seqs: &mut [u64],
+    pending: &mut [BTreeMap<(SimInstant, u32, u64), M>],
+    stats: &mut [PartitionStats],
+) {
+    let now = fx.now;
+    for (to, at, msg) in fx.sends {
+        let idx = edges
+            .iter()
+            .position(|e| e.from as usize == p && e.to == to.0)
+            .unwrap_or_else(|| panic!("send on undeclared edge p{p}->{to}"));
+        check_lookahead(now, at, edges[idx].lookahead, p as u32, to.0);
+        assert!(at >= clocks[idx], "edge p{p}->{to} regressed");
+        clocks[idx] = at;
+        let seq = seqs[idx];
+        seqs[idx] += 1;
+        pending[to.0 as usize].insert((at, p as u32, seq), msg);
+        stats[p].msgs_sent += 1;
+    }
+}
+
+fn check_lookahead(now: SimInstant, at: SimInstant, lookahead: SimDuration, from: u32, to: u32) {
+    let floor = now.saturating_add(lookahead);
+    assert!(
+        at >= floor,
+        "lookahead violation on p{from}->p{to}: sent for {at}, floor {floor}"
+    );
+}
+
+/// What a partition should do next under the conservative rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    /// Execute the earliest local event.
+    Local,
+    /// Execute the earliest pending message.
+    Msg,
+    /// Work at or before `end` exists but is not yet safe.
+    Blocked,
+    /// Nothing at or before `end` is known (done once the horizon also
+    /// clears `end`).
+    Idle,
+}
+
+/// The scheduling rule shared by both runners. `local` and `head` are
+/// the earliest local event and pending message; `horizon` is the
+/// minimum in-edge clock (`None` = unbounded: no open in-edges).
+fn select_next(
+    local: Option<SimInstant>,
+    head: Option<(SimInstant, u32, u64)>,
+    horizon: Option<SimInstant>,
+    end: SimInstant,
+) -> Choice {
+    let local = local.filter(|&t| t <= end);
+    let msg = head.map(|(t, _, _)| t).filter(|&t| t <= end);
+    let local_safe = |t: SimInstant| horizon.is_none_or(|h| t <= h);
+    let msg_safe = |t: SimInstant| horizon.is_none_or(|h| t < h);
+    match (local, msg) {
+        (None, None) => Choice::Idle,
+        (Some(tl), None) => {
+            if local_safe(tl) {
+                Choice::Local
+            } else {
+                Choice::Blocked
+            }
+        }
+        (None, Some(tm)) => {
+            if msg_safe(tm) {
+                Choice::Msg
+            } else {
+                Choice::Blocked
+            }
+        }
+        (Some(tl), Some(tm)) => {
+            // Local events precede messages at the same instant.
+            if tl <= tm {
+                if local_safe(tl) {
+                    Choice::Local
+                } else {
+                    Choice::Blocked
+                }
+            } else if msg_safe(tm) {
+                Choice::Msg
+            } else {
+                Choice::Blocked
+            }
+        }
+    }
+}
+
+/// True once a partition can never execute again: nothing local or
+/// pending at or before `end`, and no open in-edge could still deliver
+/// something at or before `end`.
+fn is_done(
+    local: Option<SimInstant>,
+    head: Option<(SimInstant, u32, u64)>,
+    horizon: Option<SimInstant>,
+    end: SimInstant,
+) -> bool {
+    local.filter(|&t| t <= end).is_none()
+        && head.map(|(t, _, _)| t).filter(|&t| t <= end).is_none()
+        && horizon.is_none_or(|h| h > end)
+}
+
+/// The earliest instant this partition could possibly execute next —
+/// the floor its out-edge promises are derived from. `None` only when
+/// the partition is completely quiet with every in-edge closed.
+fn promise_floor(
+    local: Option<SimInstant>,
+    head: Option<(SimInstant, u32, u64)>,
+    horizon: Option<SimInstant>,
+) -> Option<SimInstant> {
+    [local, head.map(|(t, _, _)| t), horizon]
+        .into_iter()
+        .flatten()
+        .min()
+}
+
+/// One partition's thread body: drain, execute safe work, promise, stall.
+fn run_partition<P: Process>(
+    id: PartitionId,
+    mut proc: P,
+    mut inlet: Inlet<P::Msg>,
+    mut kit: SenderKit<P::Msg>,
+    end: SimInstant,
+) -> (P, PartitionStats) {
+    let mut stats = PartitionStats::new(id);
+    let started = Instant::now();
+    loop {
+        inlet.drain_ready();
+        let horizon = inlet.horizon();
+        loop {
+            let local = proc.next_local();
+            let head = inlet.peek_pending().map(|(t, from, seq)| (t, from.0, seq));
+            match select_next(local, head, horizon, end) {
+                Choice::Local => {
+                    let mut fx = SendEffects::new(local.expect("local chosen"));
+                    proc.execute_local(&mut fx);
+                    route_parallel(id, fx, &mut kit, &mut stats);
+                    stats.events += 1;
+                }
+                Choice::Msg => {
+                    let (at, from, msg) = inlet.pop_pending().expect("msg chosen");
+                    let mut fx = SendEffects::new(at);
+                    proc.receive(at, from, msg, &mut fx);
+                    route_parallel(id, fx, &mut kit, &mut stats);
+                    stats.events += 1;
+                    stats.msgs_received += 1;
+                }
+                Choice::Blocked | Choice::Idle => break,
+            }
+        }
+        let local = proc.next_local();
+        let head = inlet.peek_pending().map(|(t, from, seq)| (t, from.0, seq));
+        if is_done(local, head, horizon, end) {
+            for (_, _, out) in &mut kit {
+                out.close();
+            }
+            break;
+        }
+        // Promise the quiet period outward before stalling: this is what
+        // keeps the neighbours running while we wait.
+        if let Some(lb) = promise_floor(local, head, horizon) {
+            for (_, lookahead, out) in &mut kit {
+                out.null(lb.saturating_add(*lookahead));
+            }
+        }
+        if !inlet.wait() {
+            // Every sender is gone; re-evaluate with the final horizon.
+            continue;
+        }
+    }
+    stats.nulls_sent = kit.iter().map(|(_, _, out)| out.nulls_sent()).sum();
+    stats.stalls = inlet.stalls();
+    stats.idle_ns = inlet.idle_ns();
+    let total = started.elapsed().as_nanos() as u64;
+    stats.busy_ns = total.saturating_sub(stats.idle_ns);
+    (proc, stats)
+}
+
+/// Routes one execution step's sends in the parallel runner.
+fn route_parallel<M>(
+    id: PartitionId,
+    fx: SendEffects<M>,
+    kit: &mut [(u32, SimDuration, Outlet<M>)],
+    stats: &mut PartitionStats,
+) {
+    let now = fx.now;
+    for (to, at, msg) in fx.sends {
+        let (_, lookahead, out) = kit
+            .iter_mut()
+            .find(|(t, _, _)| *t == to.0)
+            .unwrap_or_else(|| panic!("send on undeclared edge {id}->{to}"));
+        check_lookahead(now, at, *lookahead, id.0, to.0);
+        out.send(at, msg);
+        stats.msgs_sent += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::SimDuration;
+
+    fn at(s: u64) -> SimInstant {
+        SimInstant::BOOT + SimDuration::from_secs(s)
+    }
+
+    /// A process that fires local events at fixed instants, logs every
+    /// execution, and forwards a copy of each local event to a neighbour
+    /// with its edge's lookahead.
+    struct Echo {
+        schedule: Vec<SimInstant>,
+        forward: Option<(PartitionId, SimDuration)>,
+        log: Vec<(SimInstant, String)>,
+    }
+
+    impl Echo {
+        fn new(times: &[u64], forward: Option<(PartitionId, u64)>) -> Self {
+            Echo {
+                schedule: times.iter().rev().map(|&s| at(s)).collect(),
+                forward: forward.map(|(p, s)| (p, SimDuration::from_secs(s))),
+                log: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Echo {
+        type Msg = String;
+
+        fn next_local(&mut self) -> Option<SimInstant> {
+            self.schedule.last().copied()
+        }
+
+        fn execute_local(&mut self, fx: &mut SendEffects<String>) {
+            let t = self.schedule.pop().expect("scheduled");
+            self.log.push((t, "local".into()));
+            if let Some((to, la)) = self.forward {
+                let secs = t.as_nanos() / 1_000_000_000;
+                fx.send(to, t + la, format!("echo@{secs}"));
+            }
+        }
+
+        fn receive(
+            &mut self,
+            at: SimInstant,
+            from: PartitionId,
+            msg: String,
+            _fx: &mut SendEffects<String>,
+        ) {
+            self.log.push((at, format!("{from}:{msg}")));
+        }
+    }
+
+    fn logs(procs: &[Echo]) -> Vec<Vec<(SimInstant, String)>> {
+        procs.iter().map(|p| p.log.clone()).collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_ring() {
+        let build = || {
+            Executor::new(vec![
+                Echo::new(&[1, 4, 7], Some((PartitionId(1), 2))),
+                Echo::new(&[2, 5, 8], Some((PartitionId(2), 2))),
+                Echo::new(&[3, 6, 9], Some((PartitionId(0), 2))),
+            ])
+            .edge(PartitionId(0), PartitionId(1), SimDuration::from_secs(2))
+            .edge(PartitionId(1), PartitionId(2), SimDuration::from_secs(2))
+            .edge(PartitionId(2), PartitionId(0), SimDuration::from_secs(2))
+        };
+        let (serial, serial_report) = build().run_serial(at(30));
+        let (parallel, parallel_report) = build().run(at(30));
+        assert_eq!(logs(&serial), logs(&parallel));
+        assert_eq!(serial_report.total_events(), parallel_report.total_events());
+        // 9 locals + 9 echoes, all within the end bound.
+        assert_eq!(serial_report.total_events(), 18);
+    }
+
+    #[test]
+    fn local_precedes_same_instant_message() {
+        // p0 fires at 1 and forwards with zero lookahead: p1 has its own
+        // local event at exactly 1 and must execute it before the echo.
+        let build = || {
+            Executor::new(vec![
+                Echo::new(&[1], Some((PartitionId(1), 0))),
+                Echo::new(&[1], None),
+            ])
+            .edge(PartitionId(0), PartitionId(1), SimDuration::ZERO)
+        };
+        for (procs, _) in [build().run_serial(at(10)), build().run(at(10))] {
+            assert_eq!(
+                procs[1].log,
+                vec![(at(1), "local".into()), (at(1), "p0:echo@1".into())]
+            );
+        }
+    }
+
+    #[test]
+    fn end_bound_is_inclusive_and_respected() {
+        let build = || Executor::new(vec![Echo::new(&[1, 5, 6], None)]);
+        let (procs, _) = build().run(at(5));
+        assert_eq!(procs[0].log.len(), 2);
+        let (procs, _) = build().run_serial(at(5));
+        assert_eq!(procs[0].log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-lookahead cycle")]
+    fn zero_lookahead_cycles_are_rejected() {
+        let _ = Executor::new(vec![Echo::new(&[], None), Echo::new(&[], None)])
+            .edge(PartitionId(0), PartitionId(1), SimDuration::ZERO)
+            .edge(PartitionId(1), PartitionId(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn lookahead_violations_are_caught() {
+        struct Cheat;
+        impl Process for Cheat {
+            type Msg = ();
+            fn next_local(&mut self) -> Option<SimInstant> {
+                Some(at(1))
+            }
+            fn execute_local(&mut self, fx: &mut SendEffects<()>) {
+                // Declared lookahead is 5s; sending for now+1s cheats.
+                fx.send(PartitionId(1), at(2), ());
+            }
+            fn receive(
+                &mut self,
+                _at: SimInstant,
+                _from: PartitionId,
+                _msg: (),
+                _fx: &mut SendEffects<()>,
+            ) {
+            }
+        }
+        let _ = Executor::new(vec![Cheat, Cheat])
+            .edge(PartitionId(0), PartitionId(1), SimDuration::from_secs(5))
+            .run_serial(at(10));
+    }
+}

@@ -1,0 +1,64 @@
+//! Conservative (lookahead / null-message) parallel discrete-event
+//! simulation.
+//!
+//! The serial [`Calendar`](crate::Calendar) executes one globally ordered
+//! event stream; everything in this module exists to split that stream
+//! across partitions — one per simulated CPU, netsim node, or analysis
+//! stage — without changing a single byte of any result:
+//!
+//! * [`PartitionedCalendar`] — the pending-event set sharded into
+//!   per-partition calendars that still pop, merged, in *exactly* the
+//!   order a single `Calendar` would (time, then global posting order,
+//!   even for same-instant events posted to different partitions).
+//! * [`pipe`] — bounded cross-partition channels carrying timestamped
+//!   payloads and **null messages**: time-only promises ("no message
+//!   from me earlier than `t`") that advance the receiver's safe-time
+//!   horizon while the sender is busy elsewhere.
+//! * [`exec`] — the conservative runner: each partition executes on its
+//!   own scoped thread, processing work strictly below the horizon
+//!   implied by its inbound channel clocks plus each edge's declared
+//!   lookahead, and stalling — never reordering — at the boundary.
+//!   [`Executor::run_serial`] executes the identical topology on one
+//!   thread in global timestamp order and is the differential oracle
+//!   the parallel path is pinned against.
+//!
+//! ## Determinism contract
+//!
+//! Within one partition, work executes in `(time, class, source, seq)`
+//! order where local events (`class` 0) precede cross-partition messages
+//! (`class` 1) at the same instant, and same-instant messages order by
+//! `(sender partition, per-edge sequence)`. Both runners implement the
+//! same rule, so outcomes are identical at any thread count. Partition
+//! state never depends on the global interleaving *across* partitions —
+//! that is what makes the parallel schedule free.
+//!
+//! ## Observability
+//!
+//! The engine's health is wall-plane only (it must never perturb the
+//! deterministic sim plane): `des_null_messages_total`,
+//! `des_horizon_stalls_total`, `des_partition_events_total` and
+//! per-partition busy/idle nanoseconds, all surfaced through
+//! [`ExecReport`] and the process-wide telemetry registry.
+
+pub mod exec;
+pub mod partitioned;
+pub mod pipe;
+
+pub use exec::{ExecReport, Executor, PartitionStats, Process, SendEffects};
+pub use partitioned::PartitionedCalendar;
+pub use pipe::{channel, Envelope, Inlet, Outlet, Signal};
+
+/// Identifies one partition of a partitioned simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub u32);
+
+impl std::fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Default bound for cross-partition channels: deep enough to decouple
+/// producer bursts from consumer scheduling, small enough that a stalled
+/// consumer exerts backpressure instead of buffering a whole trace.
+pub const DEFAULT_CHANNEL_DEPTH: usize = 256;

@@ -1,0 +1,341 @@
+//! The pending-event set, sharded into per-partition calendars.
+//!
+//! A [`PartitionedCalendar`] holds one event heap per partition but a
+//! *single global* posting-order sequence, so the merged pop stream is
+//! exactly the stream a single [`Calendar`](crate::Calendar) would
+//! produce — same time order, same posting-order tie-break, even when
+//! same-instant events land in different partitions. That equivalence is
+//! the foundation the conservative executor builds on: each partition's
+//! heap can be drained independently (up to a safe-time horizon) and the
+//! union of the drained streams is the serial schedule.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use simtime::SimInstant;
+
+use super::PartitionId;
+use crate::Token;
+
+/// One partition's share of the pending-event set.
+#[derive(Debug)]
+struct Shard {
+    /// `(time, posting key, posting key)` min-entries, exactly the layout
+    /// the flat [`Calendar`](crate::Calendar) uses — the duplicated key is
+    /// the tie-break *and* the payload handle.
+    heap: BinaryHeap<Reverse<(SimInstant, u64, u64)>>,
+    /// Time of the last event popped *from this partition*.
+    now: SimInstant,
+    /// Live (non-cancelled) events resident in this partition.
+    live: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            heap: BinaryHeap::new(),
+            now: SimInstant::BOOT,
+            live: 0,
+        }
+    }
+}
+
+/// A deterministic time-ordered event queue split across partitions.
+///
+/// Posting takes a [`PartitionId`]; keys come from one shared counter, so
+/// ties at the same instant still break by global posting order no matter
+/// which partitions they were posted to. [`pop`](Self::pop) merges the
+/// partition heads and is bit-equivalent to a flat `Calendar` driven by
+/// the same operation sequence; [`pop_partition`](Self::pop_partition)
+/// drains one partition independently for the parallel executor.
+#[derive(Debug)]
+pub struct PartitionedCalendar<E> {
+    shards: Vec<Shard>,
+    /// Payload plus home partition, keyed by posting key. Cancellation
+    /// removes the payload; the heap entry is skipped lazily at pop time.
+    payloads: HashMap<u64, (u32, E)>,
+    /// Time of the last event popped through the *merged* stream.
+    now: SimInstant,
+    next_key: u64,
+}
+
+impl<E> PartitionedCalendar<E> {
+    /// Creates an empty calendar with `partitions` shards, at boot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero — a calendar with nowhere to post
+    /// an event is always a construction bug.
+    pub fn new(partitions: u32) -> Self {
+        assert!(
+            partitions > 0,
+            "a partitioned calendar needs >= 1 partition"
+        );
+        PartitionedCalendar {
+            shards: (0..partitions).map(|_| Shard::new()).collect(),
+            payloads: HashMap::new(),
+            now: SimInstant::BOOT,
+            next_key: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The current simulated time of the merged stream (time of the last
+    /// event popped via [`pop`](Self::pop)).
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// The local clock of one partition (time of the last event popped
+    /// from it, through either pop path).
+    pub fn partition_now(&self, p: PartitionId) -> SimInstant {
+        self.shards[p.0 as usize].now.max(self.now)
+    }
+
+    /// Posts `event` for instant `at` in partition `p`, returning a
+    /// cancellation token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the merged stream's current time or
+    /// before partition `p`'s local clock — an event in the past is a
+    /// simulation bug in the partitioned world exactly as in the flat
+    /// one. Panics if `p` is out of range.
+    pub fn post(&mut self, p: PartitionId, at: SimInstant, event: E) -> Token {
+        let shard = &mut self.shards[p.0 as usize];
+        let floor = shard.now.max(self.now);
+        assert!(
+            at >= floor,
+            "event posted for {at} in {p} but now is {floor}"
+        );
+        let key = self.next_key;
+        self.next_key += 1;
+        shard.heap.push(Reverse((at, key, key)));
+        shard.live += 1;
+        self.payloads.insert(key, (p.0, event));
+        Token::from_key(key)
+    }
+
+    /// Cancels a posted event, returning its payload if it was pending.
+    pub fn cancel(&mut self, token: Token) -> Option<E> {
+        // The heap entry stays behind and is skipped lazily at pop time.
+        let (p, event) = self.payloads.remove(&token.key())?;
+        self.shards[p as usize].live -= 1;
+        Some(event)
+    }
+
+    /// Returns `true` if the event behind `token` is still pending.
+    pub fn is_pending(&self, token: Token) -> bool {
+        self.payloads.contains_key(&token.key())
+    }
+
+    /// The partition an event was posted to, if it is still pending.
+    pub fn partition_of(&self, token: Token) -> Option<PartitionId> {
+        self.payloads
+            .get(&token.key())
+            .map(|&(p, _)| PartitionId(p))
+    }
+
+    /// The time of the earliest pending event across all partitions.
+    pub fn peek_time(&mut self) -> Option<SimInstant> {
+        self.head().map(|(_, at, _)| at)
+    }
+
+    /// The time of the earliest pending event in one partition.
+    pub fn peek_time_partition(&mut self, p: PartitionId) -> Option<SimInstant> {
+        let shard = &mut self.shards[p.0 as usize];
+        skim_stale(shard, &self.payloads);
+        shard.heap.peek().map(|&Reverse((t, _, _))| t)
+    }
+
+    /// Pops the earliest event across all partitions, advancing the
+    /// merged stream's `now` (and the home partition's clock) to its
+    /// instant. Equivalent, pop for pop, to a flat `Calendar` driven by
+    /// the same posts and cancels.
+    pub fn pop(&mut self) -> Option<(SimInstant, PartitionId, E)> {
+        let (p, at, key) = self.head()?;
+        let shard = &mut self.shards[p as usize];
+        shard.heap.pop();
+        shard.live -= 1;
+        shard.now = at;
+        self.now = at;
+        let (_, event) = self.payloads.remove(&key).expect("head entry is live");
+        Some((at, PartitionId(p), event))
+    }
+
+    /// Pops the earliest merged event if it is at or before `end`.
+    pub fn pop_before(&mut self, end: SimInstant) -> Option<(SimInstant, PartitionId, E)> {
+        match self.peek_time() {
+            Some(t) if t <= end => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Pops the earliest event of one partition, advancing only that
+    /// partition's local clock. The conservative executor calls this for
+    /// events below the partition's safe-time horizon; the merged `now`
+    /// is deliberately untouched because other partitions may still be
+    /// running earlier.
+    pub fn pop_partition(&mut self, p: PartitionId) -> Option<(SimInstant, E)> {
+        let shard = &mut self.shards[p.0 as usize];
+        skim_stale(shard, &self.payloads);
+        let Reverse((at, _, key)) = shard.heap.pop()?;
+        shard.live -= 1;
+        shard.now = at;
+        let (_, event) = self.payloads.remove(&key).expect("head entry is live");
+        Some((at, event))
+    }
+
+    /// Pops the earliest event of one partition if it is at or before
+    /// `end` (the horizon, typically).
+    pub fn pop_partition_before(
+        &mut self,
+        p: PartitionId,
+        end: SimInstant,
+    ) -> Option<(SimInstant, E)> {
+        match self.peek_time_partition(p) {
+            Some(t) if t <= end => self.pop_partition(p),
+            _ => None,
+        }
+    }
+
+    /// Number of pending (non-cancelled) events across all partitions.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Number of pending events resident in one partition.
+    pub fn partition_len(&self, p: PartitionId) -> usize {
+        self.shards[p.0 as usize].live
+    }
+
+    /// Returns `true` if no events are pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// The live head `(partition, time, key)` minimal by `(time, key)` —
+    /// the same total order a flat `Calendar`'s heap would surface.
+    fn head(&mut self) -> Option<(u32, SimInstant, u64)> {
+        let mut best: Option<(u32, SimInstant, u64)> = None;
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            skim_stale(shard, &self.payloads);
+            if let Some(&Reverse((at, key, _))) = shard.heap.peek() {
+                let candidate = (idx as u32, at, key);
+                best = match best {
+                    Some((_, bat, bkey)) if (bat, bkey) <= (at, key) => best,
+                    _ => Some(candidate),
+                };
+            }
+        }
+        best
+    }
+}
+
+/// Drops stale (cancelled) entries from the top of one shard's heap so
+/// its peek reflects a live event.
+fn skim_stale<E>(shard: &mut Shard, payloads: &HashMap<u64, (u32, E)>) {
+    while let Some(&Reverse((_, _, key))) = shard.heap.peek() {
+        if payloads.contains_key(&key) {
+            break;
+        }
+        shard.heap.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::SimDuration;
+
+    fn at(s: u64) -> SimInstant {
+        SimInstant::BOOT + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn merged_pop_is_time_ordered_across_partitions() {
+        let mut cal = PartitionedCalendar::new(3);
+        cal.post(PartitionId(2), at(3), "c");
+        cal.post(PartitionId(0), at(1), "a");
+        cal.post(PartitionId(1), at(2), "b");
+        assert_eq!(cal.pop(), Some((at(1), PartitionId(0), "a")));
+        assert_eq!(cal.pop(), Some((at(2), PartitionId(1), "b")));
+        assert_eq!(cal.pop(), Some((at(3), PartitionId(2), "c")));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_cross_partition_ties_break_by_posting_order() {
+        let mut cal = PartitionedCalendar::new(4);
+        cal.post(PartitionId(3), at(1), 1);
+        cal.post(PartitionId(0), at(1), 2);
+        cal.post(PartitionId(2), at(1), 3);
+        cal.post(PartitionId(0), at(1), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancel_is_lazy_and_partition_scoped() {
+        let mut cal = PartitionedCalendar::new(2);
+        let t1 = cal.post(PartitionId(0), at(1), "a");
+        cal.post(PartitionId(1), at(2), "b");
+        assert_eq!(cal.partition_of(t1), Some(PartitionId(0)));
+        assert!(cal.is_pending(t1));
+        assert_eq!(cal.cancel(t1), Some("a"));
+        assert!(!cal.is_pending(t1));
+        assert_eq!(cal.cancel(t1), None);
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.partition_len(PartitionId(0)), 0);
+        assert_eq!(cal.partition_len(PartitionId(1)), 1);
+        assert_eq!(cal.peek_time(), Some(at(2)));
+        assert_eq!(cal.pop(), Some((at(2), PartitionId(1), "b")));
+    }
+
+    #[test]
+    fn pop_partition_drains_independently() {
+        let mut cal = PartitionedCalendar::new(2);
+        cal.post(PartitionId(0), at(5), "later");
+        cal.post(PartitionId(1), at(1), "early");
+        // Draining partition 0 first does not disturb partition 1.
+        assert_eq!(cal.pop_partition(PartitionId(0)), Some((at(5), "later")));
+        assert_eq!(cal.partition_now(PartitionId(0)), at(5));
+        assert_eq!(cal.pop_partition_before(PartitionId(1), at(0)), None);
+        assert_eq!(
+            cal.pop_partition_before(PartitionId(1), at(1)),
+            Some((at(1), "early"))
+        );
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn partition_clock_gates_posting_but_not_siblings() {
+        let mut cal = PartitionedCalendar::new(2);
+        cal.post(PartitionId(0), at(5), ());
+        cal.pop_partition(PartitionId(0));
+        // Partition 1 has not advanced; posting early there is fine.
+        cal.post(PartitionId(1), at(1), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "posted for")]
+    fn posting_in_a_partitions_past_panics() {
+        let mut cal = PartitionedCalendar::new(2);
+        cal.post(PartitionId(0), at(5), ());
+        cal.pop_partition(PartitionId(0));
+        cal.post(PartitionId(0), at(1), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "posted for")]
+    fn posting_before_merged_now_panics() {
+        let mut cal = PartitionedCalendar::new(2);
+        cal.post(PartitionId(0), at(5), ());
+        cal.pop();
+        cal.post(PartitionId(1), at(1), ());
+    }
+}

@@ -1,0 +1,421 @@
+//! Bounded cross-partition channels with null-message promises.
+//!
+//! Every directed edge between two partitions carries [`Envelope`]s: a
+//! simulated timestamp plus one of three signals —
+//!
+//! * `Msg` — a real cross-partition event (a migrated timer, a netsim
+//!   packet delivery, an analysis chunk) scheduled for instant `at`;
+//! * `Null` — a pure time promise: "I will send nothing on this edge
+//!   earlier than `at`". Nulls carry no work but advance the receiver's
+//!   safe-time horizon so it can keep executing while the sender is busy
+//!   elsewhere (the Chandy–Misra–Bryant protocol);
+//! * `Close` — end of stream: the edge's clock jumps to infinity.
+//!
+//! An [`Outlet`] enforces the edge invariant (timestamps never regress,
+//! nulls only ever *advance* the promise), and an [`Inlet`] folds every
+//! in-edge into one horizon: the minimum clock over still-open edges.
+//! A received `Msg` at instant `t` is safe to execute only once the
+//! horizon is *strictly* past `t` — a clock equal to `t` still permits
+//! another same-instant message that must order first. Zero-lookahead
+//! edges therefore stall at the boundary instead of reordering; the
+//! stall count is the engine's main health metric.
+//!
+//! Channels are bounded ([`DEFAULT_CHANNEL_DEPTH`](super::DEFAULT_CHANNEL_DEPTH)):
+//! a slow receiver exerts backpressure instead of buffering an unbounded
+//! trace. The wall-plane counters `des_null_messages_total` and
+//! `des_horizon_stalls_total` account protocol overhead; neither touches
+//! the deterministic sim plane.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::time::Instant;
+
+use simtime::SimInstant;
+
+use super::PartitionId;
+
+/// What one envelope carries.
+#[derive(Debug)]
+pub enum Signal<M> {
+    /// A real cross-partition event scheduled for the envelope's `at`.
+    Msg(M),
+    /// A time-only promise: nothing earlier than `at` will follow.
+    Null,
+    /// End of stream on this edge.
+    Close,
+}
+
+/// One timestamped unit on an edge.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// The simulated instant this envelope speaks for.
+    pub at: SimInstant,
+    /// Sending partition.
+    pub from: PartitionId,
+    /// Per-edge payload sequence number (`Msg` only; nulls and closes
+    /// reuse the current value). Breaks same-instant ties between
+    /// messages from the same sender deterministically.
+    pub seq: u64,
+    /// The signal itself.
+    pub signal: Signal<M>,
+}
+
+/// The sending half of one directed edge.
+#[derive(Debug)]
+pub struct Outlet<M> {
+    tx: SyncSender<Envelope<M>>,
+    from: PartitionId,
+    /// Next payload sequence number on this edge.
+    seq: u64,
+    /// The latest promise made on this edge: no future envelope may
+    /// carry an earlier timestamp.
+    clock: SimInstant,
+    nulls_sent: u64,
+    closed: bool,
+}
+
+impl<M> Outlet<M> {
+    /// Sends a real message for instant `at`. Blocks when the channel is
+    /// full (backpressure). Returns `false` if the receiver is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` regresses below this edge's promised clock —
+    /// out-of-order timestamps on an edge would corrupt the receiver's
+    /// horizon, which is a protocol bug, never recoverable data.
+    pub fn send(&mut self, at: SimInstant, msg: M) -> bool {
+        assert!(
+            at >= self.clock,
+            "edge from {} regressed: message at {at} after promise {}",
+            self.from,
+            self.clock
+        );
+        assert!(!self.closed, "send on a closed edge from {}", self.from);
+        self.clock = at;
+        let seq = self.seq;
+        self.seq += 1;
+        self.tx
+            .send(Envelope {
+                at,
+                from: self.from,
+                seq,
+                signal: Signal::Msg(msg),
+            })
+            .is_ok()
+    }
+
+    /// Promises that nothing earlier than `promise` will follow on this
+    /// edge. Sends a null message only when the promise actually
+    /// advances the edge clock — repeated identical promises are free.
+    /// Returns `false` if the receiver is gone.
+    pub fn null(&mut self, promise: SimInstant) -> bool {
+        if self.closed || promise <= self.clock {
+            return !self.closed;
+        }
+        self.clock = promise;
+        self.nulls_sent += 1;
+        self.tx
+            .send(Envelope {
+                at: promise,
+                from: self.from,
+                seq: self.seq,
+                signal: Signal::Null,
+            })
+            .is_ok()
+    }
+
+    /// Ends the stream: the receiver treats this edge as infinitely far
+    /// in the future from now on. Idempotent.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let _ = self.tx.send(Envelope {
+            at: SimInstant::from_nanos(u64::MAX),
+            from: self.from,
+            seq: self.seq,
+            signal: Signal::Close,
+        });
+    }
+
+    /// The latest promise on this edge.
+    pub fn clock(&self) -> SimInstant {
+        self.clock
+    }
+
+    /// Null messages sent on this edge so far.
+    pub fn nulls_sent(&self) -> u64 {
+        self.nulls_sent
+    }
+}
+
+impl<M> Drop for Outlet<M> {
+    fn drop(&mut self) {
+        // A dropped outlet must not strand its receiver at a finite
+        // horizon: closing is part of the protocol, not best effort.
+        self.close();
+    }
+}
+
+/// The per-edge state an inlet tracks.
+#[derive(Debug, Clone, Copy)]
+struct EdgeState {
+    from: PartitionId,
+    /// Latest promise received (payloads and nulls both advance it).
+    clock: SimInstant,
+    open: bool,
+}
+
+/// The receiving half of a partition's in-edges: one shared queue fed by
+/// every inbound [`Outlet`], folded into a safe-time horizon.
+#[derive(Debug)]
+pub struct Inlet<M> {
+    rx: Receiver<Envelope<M>>,
+    edges: Vec<EdgeState>,
+    /// Received-but-not-yet-executed messages in deterministic order:
+    /// `(at, sender, per-edge seq)`.
+    pending: BTreeMap<(SimInstant, u32, u64), M>,
+    stalls: u64,
+    idle_ns: u64,
+}
+
+impl<M> Inlet<M> {
+    /// The safe-time horizon: the minimum promised clock over still-open
+    /// in-edges. `None` means every edge has closed — no message can
+    /// ever arrive again, so the horizon is unbounded.
+    pub fn horizon(&self) -> Option<SimInstant> {
+        self.edges.iter().filter(|e| e.open).map(|e| e.clock).min()
+    }
+
+    /// Absorbs everything already queued without blocking.
+    pub fn drain_ready(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(env) => self.absorb(env),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Blocks until at least one envelope arrives (a horizon stall),
+    /// then absorbs everything queued behind it. Returns `false` when
+    /// every sender is gone and nothing more can arrive.
+    pub fn wait(&mut self) -> bool {
+        match self.rx.try_recv() {
+            Ok(env) => {
+                self.absorb(env);
+                self.drain_ready();
+                return true;
+            }
+            Err(TryRecvError::Disconnected) => return false,
+            Err(TryRecvError::Empty) => {}
+        }
+        // Nothing queued: this is a genuine stall at the horizon.
+        self.stalls += 1;
+        let blocked = Instant::now();
+        let got = self.rx.recv();
+        self.idle_ns = self
+            .idle_ns
+            .saturating_add(blocked.elapsed().as_nanos() as u64);
+        match got {
+            Ok(env) => {
+                self.absorb(env);
+                self.drain_ready();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The earliest pending message, if any: `(at, sender, seq)`.
+    pub fn peek_pending(&self) -> Option<(SimInstant, PartitionId, u64)> {
+        self.pending
+            .keys()
+            .next()
+            .map(|&(at, from, seq)| (at, PartitionId(from), seq))
+    }
+
+    /// Pops the earliest pending message.
+    pub fn pop_pending(&mut self) -> Option<(SimInstant, PartitionId, M)> {
+        let key = *self.pending.keys().next()?;
+        let msg = self.pending.remove(&key).expect("key just observed");
+        Some((key.0, PartitionId(key.1), msg))
+    }
+
+    /// Messages received but not yet executed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Horizon stalls so far (blocking waits with an empty queue).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Wall nanoseconds spent blocked at the horizon.
+    pub fn idle_ns(&self) -> u64 {
+        self.idle_ns
+    }
+
+    fn absorb(&mut self, env: Envelope<M>) {
+        let edge = self
+            .edges
+            .iter_mut()
+            .find(|e| e.from == env.from)
+            .unwrap_or_else(|| panic!("envelope from unregistered edge {}", env.from));
+        match env.signal {
+            Signal::Msg(msg) => {
+                assert!(edge.open, "message on a closed edge from {}", env.from);
+                assert!(
+                    env.at >= edge.clock,
+                    "edge from {} regressed at the inlet: {} after {}",
+                    env.from,
+                    env.at,
+                    edge.clock
+                );
+                edge.clock = env.at;
+                self.pending.insert((env.at, env.from.0, env.seq), msg);
+            }
+            Signal::Null => {
+                edge.clock = edge.clock.max(env.at);
+            }
+            Signal::Close => {
+                edge.open = false;
+            }
+        }
+    }
+}
+
+/// Builds the fan-in for one receiving partition: one bounded queue with
+/// an [`Outlet`] per declared in-edge (in `froms` order) and the
+/// [`Inlet`] folding them. `depth` bounds the shared queue.
+pub fn channel<M>(froms: &[PartitionId], depth: usize) -> (Vec<Outlet<M>>, Inlet<M>) {
+    let (tx, rx) = sync_channel(depth.max(1));
+    let outlets = froms
+        .iter()
+        .map(|&from| Outlet {
+            tx: tx.clone(),
+            from,
+            seq: 0,
+            clock: SimInstant::BOOT,
+            nulls_sent: 0,
+            closed: false,
+        })
+        .collect();
+    let inlet = Inlet {
+        rx,
+        edges: froms
+            .iter()
+            .map(|&from| EdgeState {
+                from,
+                clock: SimInstant::BOOT,
+                open: true,
+            })
+            .collect(),
+        pending: BTreeMap::new(),
+        stalls: 0,
+        idle_ns: 0,
+    };
+    (outlets, inlet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::SimDuration;
+
+    fn at(s: u64) -> SimInstant {
+        SimInstant::BOOT + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn horizon_is_min_open_edge_clock() {
+        let (mut outs, mut inlet) = channel::<&str>(&[PartitionId(0), PartitionId(1)], 8);
+        assert_eq!(inlet.horizon(), Some(SimInstant::BOOT));
+        outs[0].null(at(5));
+        outs[1].null(at(3));
+        inlet.drain_ready();
+        assert_eq!(inlet.horizon(), Some(at(3)));
+        outs[1].close();
+        inlet.drain_ready();
+        assert_eq!(inlet.horizon(), Some(at(5)));
+        outs[0].close();
+        inlet.drain_ready();
+        assert_eq!(inlet.horizon(), None);
+    }
+
+    #[test]
+    fn pending_orders_by_time_sender_then_seq() {
+        let (mut outs, mut inlet) = channel::<u32>(&[PartitionId(2), PartitionId(1)], 8);
+        // Same instant from two senders plus a same-sender follow-up:
+        // order must be (time, sender partition, per-edge seq).
+        outs[0].send(at(1), 20); // from p2
+        outs[1].send(at(1), 10); // from p1
+        outs[1].send(at(1), 11); // from p1, seq 1
+        outs[0].send(at(2), 21);
+        inlet.drain_ready();
+        let mut got = Vec::new();
+        while let Some((_, from, msg)) = inlet.pop_pending() {
+            got.push((from, msg));
+        }
+        assert_eq!(
+            got,
+            vec![
+                (PartitionId(1), 10),
+                (PartitionId(1), 11),
+                (PartitionId(2), 20),
+                (PartitionId(2), 21),
+            ]
+        );
+    }
+
+    #[test]
+    fn nulls_only_advance_and_count() {
+        let (mut outs, mut inlet) = channel::<()>(&[PartitionId(0)], 8);
+        assert!(outs[0].null(at(4)));
+        assert!(outs[0].null(at(2))); // no-op: would regress
+        assert!(outs[0].null(at(4))); // no-op: no advance
+        assert!(outs[0].null(at(6)));
+        assert_eq!(outs[0].nulls_sent(), 2);
+        inlet.drain_ready();
+        assert_eq!(inlet.horizon(), Some(at(6)));
+        assert_eq!(inlet.pending_len(), 0);
+    }
+
+    #[test]
+    fn wait_counts_a_stall_only_when_blocking() {
+        let (mut outs, mut inlet) = channel::<u8>(&[PartitionId(0)], 8);
+        outs[0].send(at(1), 1);
+        assert!(inlet.wait());
+        assert_eq!(inlet.stalls(), 0, "queued envelope is not a stall");
+        let handle = std::thread::spawn(move || {
+            // Give the receiver time to reach the blocking recv so the
+            // stall path is exercised deterministically.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            outs[0].send(at(2), 2);
+            outs[0].close();
+        });
+        while inlet.wait() {}
+        handle.join().unwrap();
+        assert!(inlet.stalls() >= 1, "empty-queue wait must count a stall");
+        assert_eq!(inlet.pending_len(), 2);
+        assert_eq!(inlet.horizon(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "regressed")]
+    fn timestamp_regression_on_an_edge_panics() {
+        let (mut outs, _inlet) = channel::<()>(&[PartitionId(0)], 8);
+        outs[0].send(at(5), ());
+        outs[0].send(at(3), ());
+    }
+
+    #[test]
+    fn dropping_an_outlet_closes_its_edge() {
+        let (outs, mut inlet) = channel::<()>(&[PartitionId(0), PartitionId(1)], 8);
+        drop(outs);
+        inlet.drain_ready();
+        assert_eq!(inlet.horizon(), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property test: a `PartitionedCalendar`'s merged pop stream is exactly
+//! the stream a flat `Calendar` produces under the same operation
+//! sequence — arbitrary post/cancel/re-post interleavings, including
+//! same-instant events posted to different partitions, where the global
+//! posting-order tie-break must survive the sharding.
+
+use des::pdes::{PartitionId, PartitionedCalendar};
+use des::Calendar;
+use proptest::prelude::*;
+use simtime::{SimDuration, SimInstant};
+
+const PARTITIONS: u32 = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Post { partition: u32, delta_ms: u64 },
+    Cancel { nth: usize },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Small deltas (and zero) on purpose: same-instant collisions
+        // across partitions are the interesting case.
+        (0..PARTITIONS, 0u64..8).prop_map(|(partition, delta_ms)| Op::Post {
+            partition,
+            delta_ms
+        }),
+        (0..PARTITIONS, 0u64..10_000).prop_map(|(partition, delta_ms)| Op::Post {
+            partition,
+            delta_ms
+        }),
+        (0usize..48).prop_map(|nth| Op::Cancel { nth }),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn merged_pop_stream_equals_flat_calendar(
+        ops in proptest::collection::vec(op_strategy(), 0..250)
+    ) {
+        let mut sharded: PartitionedCalendar<u64> = PartitionedCalendar::new(PARTITIONS);
+        let mut flat: Calendar<u64> = Calendar::new();
+        let mut tokens = Vec::new();
+        let mut seq = 0u64;
+        let mut now_ns = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Post { partition, delta_ms } => {
+                    let at = SimInstant::from_nanos(
+                        now_ns + SimDuration::from_millis(delta_ms).as_nanos(),
+                    );
+                    let st = sharded.post(PartitionId(partition), at, seq);
+                    let ft = flat.post(at, seq);
+                    tokens.push((st, ft));
+                    seq += 1;
+                }
+                Op::Cancel { nth } => {
+                    if let Some(&(st, ft)) = tokens.get(nth) {
+                        let got = sharded.cancel(st);
+                        let expected = flat.cancel(ft);
+                        prop_assert_eq!(got, expected);
+                        prop_assert_eq!(sharded.is_pending(st), flat.is_pending(ft));
+                    }
+                }
+                Op::Pop => {
+                    let expected = flat.pop();
+                    let got = sharded.pop().map(|(at, _, e)| (at, e));
+                    prop_assert_eq!(got, expected);
+                    if let Some((at, _)) = expected {
+                        now_ns = at.as_nanos();
+                    }
+                }
+            }
+            // The sharded view agrees with the flat one at every step.
+            prop_assert_eq!(sharded.len(), flat.len());
+            prop_assert_eq!(sharded.is_empty(), flat.is_empty());
+            prop_assert_eq!(sharded.peek_time(), flat.peek_time());
+            prop_assert_eq!(sharded.now(), flat.now());
+            let resident: usize = (0..PARTITIONS)
+                .map(|p| sharded.partition_len(PartitionId(p)))
+                .sum();
+            prop_assert_eq!(resident, flat.len());
+        }
+        // Drain both to the end: the tails must agree too.
+        loop {
+            let expected = flat.pop();
+            let got = sharded.pop().map(|(at, _, e)| (at, e));
+            prop_assert_eq!(&got, &expected);
+            if expected.is_none() {
+                break;
+            }
+        }
+    }
+}

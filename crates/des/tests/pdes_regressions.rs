@@ -1,0 +1,185 @@
+//! Regression tests for the two known-hard conservative-engine
+//! orderings, pinned against the serial differential oracle:
+//!
+//! 1. a timer migrated between bases arriving at the *exact* horizon
+//!    boundary — the receiving base has its own local timer at the very
+//!    same instant and must fire it first (local precedes same-instant
+//!    message), with the migrated timer re-armed and fired right after,
+//!    never early and never lost;
+//! 2. a netsim delivery posted at `now` across a zero-lookahead edge —
+//!    the receiver must stall at the boundary until the sender's clock
+//!    passes it, never pop a later local event first.
+//!
+//! Each topology runs through both `Executor::run` (scoped threads) and
+//! `Executor::run_serial` (the oracle); the parallel run repeats to
+//! shake out scheduling races.
+
+use des::pdes::{Executor, PartitionId, Process, SendEffects};
+use des::Calendar;
+use simtime::{SimDuration, SimInstant};
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+fn at_ms(v: u64) -> SimInstant {
+    SimInstant::BOOT + ms(v)
+}
+
+/// A simulated timer base: a local calendar of timer ids, some of which
+/// migrate to another base when they fire. A migrated timer re-arms on
+/// the destination base at its arrival instant and fires there as a
+/// local event.
+struct Base {
+    cal: Calendar<u64>,
+    /// `(timer id, destination, migration latency)`.
+    migrations: Vec<(u64, PartitionId, SimDuration)>,
+    /// `(instant ns, what, timer id)` — the byte-comparable outcome.
+    log: Vec<(u64, &'static str, u64)>,
+}
+
+impl Base {
+    fn new(timers: &[(u64, u64)]) -> Self {
+        let mut cal = Calendar::new();
+        for &(at, id) in timers {
+            cal.post(at_ms(at), id);
+        }
+        Base {
+            cal,
+            migrations: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    fn migrating(mut self, id: u64, to: PartitionId, latency: SimDuration) -> Self {
+        self.migrations.push((id, to, latency));
+        self
+    }
+}
+
+impl Process for Base {
+    type Msg = u64;
+
+    fn next_local(&mut self) -> Option<SimInstant> {
+        self.cal.peek_time()
+    }
+
+    fn execute_local(&mut self, fx: &mut SendEffects<u64>) {
+        let (at, id) = self.cal.pop().expect("scheduled timer");
+        if let Some(&(_, to, latency)) = self.migrations.iter().find(|&&(m, _, _)| m == id) {
+            self.log.push((at.as_nanos(), "migrate", id));
+            fx.send(to, at.saturating_add(latency), id);
+        } else {
+            self.log.push((at.as_nanos(), "fire", id));
+        }
+    }
+
+    fn receive(&mut self, at: SimInstant, _from: PartitionId, id: u64, _fx: &mut SendEffects<u64>) {
+        // Re-arm on this base at the arrival instant: it fires as a
+        // local event, ordered after everything already due here.
+        self.log.push((at.as_nanos(), "recv", id));
+        self.cal.post(at, id);
+    }
+}
+
+fn logs(procs: &[Base]) -> Vec<Vec<(u64, &'static str, u64)>> {
+    procs.iter().map(|b| b.log.clone()).collect()
+}
+
+#[test]
+fn migration_at_the_exact_horizon_boundary_orders_after_the_local_timer() {
+    // Base 0 fires at 1ms and 2ms; the 2ms timer migrates to base 1 with
+    // 1ms latency, arriving at exactly 3ms — which is both the edge's
+    // minimal legal timestamp (the horizon boundary) and the instant of
+    // base 1's own local timer 31.
+    let build = || {
+        Executor::new(vec![
+            Base::new(&[(1, 10), (2, 11)]).migrating(11, PartitionId(1), ms(1)),
+            Base::new(&[(3, 31)]),
+        ])
+        .edge(PartitionId(0), PartitionId(1), ms(1))
+    };
+    let (oracle, _) = build().run_serial(at_ms(100));
+    let expected = logs(&oracle);
+    assert_eq!(
+        expected[1],
+        vec![
+            (at_ms(3).as_nanos(), "fire", 31),
+            (at_ms(3).as_nanos(), "recv", 11),
+            (at_ms(3).as_nanos(), "fire", 11),
+        ],
+        "the local timer fires before the same-instant migrated arrival"
+    );
+    for _ in 0..25 {
+        let (parallel, report) = build().run(at_ms(100));
+        assert_eq!(logs(&parallel), expected);
+        assert_eq!(report.total_events(), 5);
+    }
+}
+
+#[test]
+fn zero_lookahead_delivery_at_now_stalls_instead_of_reordering() {
+    // Node 0 "transmits" at 5ms over a zero-lookahead edge: the delivery
+    // lands on node 1 at exactly `now`. Node 1 has a local event at 5ms
+    // (fires first) and another at 6ms — which must NOT fire before the
+    // 5ms delivery, no matter how late the envelope arrives: the
+    // receiver stalls at the boundary rather than running ahead.
+    let build = || {
+        Executor::new(vec![
+            Base::new(&[(5, 50)]).migrating(50, PartitionId(1), SimDuration::ZERO),
+            Base::new(&[(5, 60), (6, 61)]),
+        ])
+        .edge(PartitionId(0), PartitionId(1), SimDuration::ZERO)
+    };
+    let (oracle, _) = build().run_serial(at_ms(100));
+    let expected = logs(&oracle);
+    assert_eq!(
+        expected[1],
+        vec![
+            (at_ms(5).as_nanos(), "fire", 60),
+            (at_ms(5).as_nanos(), "recv", 50),
+            (at_ms(5).as_nanos(), "fire", 50),
+            (at_ms(6).as_nanos(), "fire", 61),
+        ],
+        "the delivery at now sequences before any later local event"
+    );
+    for _ in 0..25 {
+        let (parallel, _) = build().run(at_ms(100));
+        assert_eq!(logs(&parallel), expected);
+    }
+}
+
+#[test]
+fn seeded_migration_mesh_matches_the_oracle() {
+    // A denser differential check: four bases in a ring, every third
+    // timer migrating clockwise with the ring latency, timers seeded
+    // pseudo-randomly. The parallel engine must reproduce the oracle's
+    // per-base logs exactly.
+    let build = |seed: u64| {
+        let mut rng = simtime::SimRng::new(seed);
+        let mut bases = Vec::new();
+        for p in 0..4u64 {
+            let timers: Vec<(u64, u64)> = (0..40)
+                .map(|i| (1 + rng.range_u64(0, 50), p * 1000 + i))
+                .collect();
+            let mut base = Base::new(&timers);
+            for &(_, id) in timers.iter().filter(|&&(_, id)| id % 3 == 0) {
+                base = base.migrating(id, PartitionId(((p + 1) % 4) as u32), ms(2));
+            }
+            bases.push(base);
+        }
+        let mut exec = Executor::new(bases);
+        for p in 0..4u32 {
+            exec = exec.edge(PartitionId(p), PartitionId((p + 1) % 4), ms(2));
+        }
+        exec
+    };
+    for seed in [1u64, 7, 42] {
+        let (oracle, oracle_report) = build(seed).run_serial(at_ms(200));
+        let expected = logs(&oracle);
+        let (parallel, report) = build(seed).run(at_ms(200));
+        assert_eq!(logs(&parallel), expected, "seed {seed} diverged");
+        assert_eq!(report.total_events(), oracle_report.total_events());
+        assert!(report.total_events() >= 160, "every timer must fire");
+    }
+}

@@ -1,0 +1,167 @@
+//! Differential harness for the conservative parallel DES engine: a
+//! `des_threads = N` experiment must be bit-identical to the serial
+//! single-threaded pipeline for every `N` — same `Report`, same raw run
+//! counters, same sim-plane telemetry snapshot (the `run_report.json`
+//! sim section), same rendered artifacts — with the engine free to
+//! change only wall-clock time and the wall-plane `des_*` counters.
+//!
+//! The contract holds under composition too: fault injection and
+//! sharded timer bases ride through the parallel engine unchanged, and
+//! the experiment cache keys on `des_threads`, so cached parallel
+//! results replay exactly.
+
+use simtime::SimDuration;
+use timerstudy::cache::ExperimentCache;
+use timerstudy::experiment::{run_experiments, table_specs};
+use timerstudy::figures::assemble;
+use timerstudy::{Backend, ExperimentResult, ExperimentSpec, FaultSpec, Os, Workload};
+
+/// Short traces keep the suite fast; every workload still runs long
+/// enough to exercise thousands of timer operations.
+const SECS: u64 = 20;
+
+/// Every parallel width under test, including the degenerate 1 and a
+/// width above [`analysis::ANALYZER_PART_COUNT`]-per-worker saturation.
+const WIDTHS: [u16; 4] = [1, 2, 4, 8];
+
+fn specs_under_test() -> Vec<ExperimentSpec> {
+    let duration = SimDuration::from_secs(SECS);
+    let mut specs = table_specs(Os::Linux, duration, 1234);
+    specs.extend(table_specs(Os::Vista, duration, 1234));
+    specs.push(ExperimentSpec::new(
+        Os::Vista,
+        Workload::Outlook,
+        duration,
+        1234,
+    ));
+    specs
+}
+
+fn with_des(specs: &[ExperimentSpec], threads: u16) -> Vec<ExperimentSpec> {
+    specs.iter().map(|s| s.with_des_threads(threads)).collect()
+}
+
+/// The strongest equality we can state across the two pipelines: the
+/// full serialized report, every raw run counter, and the sim-plane
+/// snapshot that becomes the `run_report.json` sim section. (The specs
+/// themselves legitimately differ in `des_threads`, and the labels in
+/// the ` des=N` suffix — that is the cache key doing its job.)
+fn assert_equivalent(serial: &[ExperimentResult], des: &[ExperimentResult], what: &str) {
+    assert_eq!(serial.len(), des.len(), "{what}: result count differs");
+    for (s, d) in serial.iter().zip(des) {
+        assert_eq!(
+            s.spec,
+            d.spec.with_des_threads(0),
+            "{what}: results out of order"
+        );
+        assert_eq!(
+            serde_json::to_string(&s.report).unwrap(),
+            serde_json::to_string(&d.report).unwrap(),
+            "{what}: report differs for {:?}/{:?}",
+            s.spec.os,
+            s.spec.workload
+        );
+        assert_eq!(s.records, d.records, "{what}: record count differs");
+        assert_eq!(s.wakeups, d.wakeups, "{what}: wakeup count differs");
+        assert_eq!(s.busy, d.busy, "{what}: busy time differs");
+        assert_eq!(
+            s.logging_overhead, d.logging_overhead,
+            "{what}: logging overhead differs"
+        );
+        assert_eq!(
+            s.metrics, d.metrics,
+            "{what}: sim telemetry snapshot differs for {:?}/{:?}",
+            s.spec.os, s.spec.workload
+        );
+    }
+}
+
+#[test]
+fn des_threads_match_serial_bit_for_bit() {
+    let specs = specs_under_test();
+    let serial = run_experiments(&specs);
+    for threads in WIDTHS {
+        let des = run_experiments(&with_des(&specs, threads));
+        assert_equivalent(&serial, &des, &format!("des_threads={threads}"));
+    }
+}
+
+#[test]
+fn des_artifacts_and_cache_replay_identical() {
+    let duration = SimDuration::from_secs(SECS);
+    let specs = timerstudy::figures::paper_specs(duration, 7);
+    let serial = assemble(&run_experiments(&specs));
+
+    for threads in [2u16, 8] {
+        let des_specs = with_des(&specs, threads);
+        let cache = ExperimentCache::new();
+        let first = cache.run_all(&des_specs);
+        let des = assemble(&first);
+        assert_eq!(serial.len(), des.len());
+        for (s, d) in serial.iter().zip(&des) {
+            assert_eq!(
+                s.printable(),
+                d.printable(),
+                "artifact text differs at des_threads={threads}"
+            );
+            assert_eq!(
+                s.csv, d.csv,
+                "artifact csv differs at des_threads={threads}"
+            );
+        }
+        // The cached replay serves the same bytes without re-running.
+        let misses = cache.misses();
+        let again = cache.run_all(&des_specs);
+        assert_eq!(cache.misses(), misses, "warm rerun must not re-simulate");
+        for (f, a) in first.iter().zip(&again) {
+            assert_eq!(
+                serde_json::to_string(&f.report).unwrap(),
+                serde_json::to_string(&a.report).unwrap(),
+                "cached replay differs at des_threads={threads}"
+            );
+            assert_eq!(f.metrics, a.metrics);
+        }
+    }
+}
+
+#[test]
+fn des_threads_match_serial_under_faults() {
+    let faults = FaultSpec::parse("all").expect("the composite fault plane parses");
+    let specs: Vec<ExperimentSpec> = specs_under_test()
+        .into_iter()
+        .map(|s| s.with_faults(faults))
+        .collect();
+    let serial = run_experiments(&specs);
+    assert!(
+        serial.iter().any(|r| r.report.summary.dropped_records > 0),
+        "the fault plane must actually drop records for this test to bite"
+    );
+    for threads in [2u16, 4] {
+        let des = run_experiments(&with_des(&specs, threads));
+        assert_equivalent(&serial, &des, &format!("faulted des_threads={threads}"));
+    }
+}
+
+#[test]
+fn des_threads_match_serial_under_sharded_bases() {
+    let backend = Backend::Native.with_shards(4);
+    let specs: Vec<ExperimentSpec> = specs_under_test()
+        .into_iter()
+        .map(|s| s.with_backend(backend))
+        .collect();
+    let serial = run_experiments(&specs);
+    for threads in [4u16, 8] {
+        let des = run_experiments(&with_des(&specs, threads));
+        assert_equivalent(&serial, &des, &format!("sharded des_threads={threads}"));
+    }
+}
+
+#[test]
+fn spec_labels_carry_the_des_suffix_only_when_parallel() {
+    let spec = ExperimentSpec::new(Os::Linux, Workload::Idle, SimDuration::from_secs(2), 11);
+    assert_eq!(timerstudy::spec_label(&spec), "Linux Idle 2s seed11");
+    assert_eq!(
+        timerstudy::spec_label(&spec.with_des_threads(8)),
+        "Linux Idle 2s seed11 des=8"
+    );
+}
