@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use simtime::SimDuration;
 use trace::{Event, EventCounts, Pid, StringTable, TraceSink};
 
+use crate::attribution::AttributionTracker;
 use crate::classify::{Classifier, ClusterKey, PatternMix};
 use crate::countdown::{CountdownDetector, Dot};
 use crate::lifecycle::LifecycleTracker;
@@ -94,6 +95,11 @@ pub struct Report {
     pub rate_series: std::collections::BTreeMap<String, Vec<u32>>,
     /// Table 3 rows.
     pub provenance: Vec<ProvenanceRow>,
+    /// Per-origin attribution (§5's provenance-tracking proposal):
+    /// counts, timeout-value and set-vs-fired slack histograms, in
+    /// canonical order. Riding inside the report keeps it byte-identical
+    /// across execution modes and cache replay for free.
+    pub attribution: telemetry::OriginTable,
     /// Number of timers the countdown detector flagged (≥ 50 % countdown
     /// re-issues).
     pub countdown_timer_count: usize,
@@ -116,6 +122,7 @@ pub struct TraceAnalyzer {
     scatter: ScatterBuilder,
     rates: RateSeries,
     provenance: ProvenanceTracker,
+    attribution: AttributionTracker,
     /// Records the trace layer decoded unsuccessfully before this
     /// analyzer ever saw them (lossy-merge accounting), folded into the
     /// summary's lost-record rows.
@@ -149,6 +156,7 @@ impl TraceAnalyzer {
             scatter: ScatterBuilder::new(),
             rates: RateSeries::new(cfg.rate_groups.clone()),
             provenance: ProvenanceTracker::new(),
+            attribution: AttributionTracker::new(),
             decode_lost: 0,
             cfg,
         }
@@ -170,6 +178,7 @@ impl TraceAnalyzer {
         self.values_filtered.push(event);
         self.values_user.push(event);
         self.countdown.push(event);
+        self.attribution.push(event);
         if let Some(sample) = self.lifecycle.push(event) {
             let key = match self.cfg.cluster_mode {
                 ClusterMode::ByAddress => ClusterKey(sample.addr, 0),
@@ -225,6 +234,7 @@ impl TraceAnalyzer {
             fig4_dots: self.countdown.dots().to_vec(),
             rate_series,
             provenance,
+            attribution: self.attribution.finish(strings),
             countdown_timer_count: self.countdown.countdown_timers(0.5).len(),
             countdown_validation: self.countdown.validation_counts(),
         }

@@ -35,6 +35,7 @@
 //! [`TraceAnalyzer`] composes all of them behind one sink.
 
 pub mod analyzer;
+pub mod attribution;
 pub mod classify;
 pub mod countdown;
 pub mod lifecycle;
@@ -46,6 +47,7 @@ pub mod values;
 pub mod visitor;
 
 pub use analyzer::{AnalyzerConfig, ClusterMode, Report, TraceAnalyzer};
+pub use attribution::AttributionTracker;
 pub use classify::{PatternClass, PatternMix};
 pub use lifecycle::{Outcome, Sample};
 pub use parts::{assemble_report, split_analyzer, AnalyzerPart, ANALYZER_PART_COUNT};

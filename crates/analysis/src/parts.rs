@@ -24,6 +24,7 @@
 use trace::{Event, EventCounts, Pid, StringTable};
 
 use crate::analyzer::{AnalyzerConfig, ClusterMode, Report};
+use crate::attribution::AttributionTracker;
 use crate::classify::{Classifier, ClusterKey};
 use crate::countdown::CountdownDetector;
 use crate::lifecycle::LifecycleTracker;
@@ -33,7 +34,7 @@ use crate::summary::{RateSeries, TimerPopulation, TraceSummary};
 use crate::values::ValueHistogram;
 
 /// How many parts [`split_analyzer`] produces.
-pub const ANALYZER_PART_COUNT: usize = 8;
+pub const ANALYZER_PART_COUNT: usize = 9;
 
 /// One independently-foldable slice of the analyzer. Every part must see
 /// every event, in stream order; parts never need each other until
@@ -73,6 +74,8 @@ pub enum AnalyzerPart {
         provenance: ProvenanceTracker,
         exclude_pids: Vec<Pid>,
     },
+    /// Per-origin attribution tables (report `attribution` section).
+    Attribution(AttributionTracker),
 }
 
 impl std::fmt::Debug for AnalyzerPart {
@@ -93,6 +96,7 @@ impl AnalyzerPart {
             AnalyzerPart::Classify { .. } => "classify",
             AnalyzerPart::OriginClassify { .. } => "origin_classify",
             AnalyzerPart::ScatterProvenance { .. } => "scatter_provenance",
+            AnalyzerPart::Attribution(_) => "attribution",
         }
     }
 
@@ -151,6 +155,7 @@ impl AnalyzerPart {
                     provenance.push(&sample);
                 }
             }
+            AnalyzerPart::Attribution(t) => t.push(event),
         }
     }
 
@@ -203,6 +208,7 @@ pub fn split_analyzer(cfg: &AnalyzerConfig) -> Vec<AnalyzerPart> {
             provenance: ProvenanceTracker::new(),
             exclude_pids: cfg.exclude_pids.clone(),
         },
+        AnalyzerPart::Attribution(AttributionTracker::new()),
     ]
 }
 
@@ -262,6 +268,10 @@ pub fn assemble_report(parts: Vec<AnalyzerPart>, strings: &StringTable) -> Repor
         } => (scatter, provenance),
         other => panic!("expected scatter_provenance part, got {}", other.label()),
     };
+    let attribution = match next() {
+        AnalyzerPart::Attribution(t) => t,
+        other => panic!("expected attribution part, got {}", other.label()),
+    };
     assert!(it.next().is_none(), "unexpected extra analyzer part");
 
     let mut summary = TraceSummary::from_counts(
@@ -301,6 +311,7 @@ pub fn assemble_report(parts: Vec<AnalyzerPart>, strings: &StringTable) -> Repor
         fig4_dots: countdown.dots().to_vec(),
         rate_series,
         provenance: provenance_rows,
+        attribution: attribution.finish(strings),
         countdown_timer_count: countdown.countdown_timers(0.5).len(),
         countdown_validation: countdown.validation_counts(),
     }

@@ -31,6 +31,27 @@ fn wheel_mixed_ops(n: u64, rng: &mut SimRng) -> u64 {
     fired
 }
 
+/// Folds a synthetic set/expire/cancel stream through the attribution
+/// tracker — the per-event cost the tentpole adds to every analysis.
+fn attr_fold(n: u64) -> usize {
+    let mut tracker = analysis::AttributionTracker::new();
+    for i in 0..n {
+        let ts = SimInstant::from_nanos(i * 1_000);
+        let origin = (i % 24) as u32;
+        let addr = 0xC100_0000 + (i % 64) * 0x40;
+        let event = match i % 3 {
+            0 => Event::new(ts, EventKind::Set, addr, origin)
+                .with_timeout(SimDuration::from_millis(i % 500))
+                .with_expires(ts + SimDuration::from_millis(i % 500)),
+            1 => Event::new(ts, EventKind::Expire, addr, origin)
+                .with_expires(ts - SimDuration::from_micros(i % 900)),
+            _ => Event::new(ts, EventKind::Cancel, addr, origin),
+        };
+        tracker.push(&event);
+    }
+    tracker.origin_count()
+}
+
 fn log_records(n: u64) -> u64 {
     let mut log = TraceLog::new(Box::new(RingSink::new(RingBuffer::new(64 * 1024 * 1024))));
     for i in 0..n {
@@ -59,6 +80,11 @@ fn bench_overhead(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("trace_log", label), &on, |b, &on| {
             telemetry::set_enabled(on);
             b.iter(|| log_records(50_000));
+            telemetry::set_enabled(true);
+        });
+        group.bench_with_input(BenchmarkId::new("attr_fold", label), &on, |b, &on| {
+            telemetry::set_enabled(on);
+            b.iter(|| attr_fold(50_000));
             telemetry::set_enabled(true);
         });
     }

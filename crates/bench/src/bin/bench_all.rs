@@ -109,6 +109,32 @@ fn bench_analysis_chunk() -> f64 {
     })
 }
 
+/// The attribution tracker's per-event fold cost — the provenance
+/// tables the run report carries per experiment.
+fn bench_attribution_fold() -> f64 {
+    use trace::{Event, EventKind};
+    const N: u64 = 65_536;
+    let events: Vec<Event> = (0..N)
+        .map(|i| {
+            let at = simtime::SimInstant::BOOT + simtime::SimDuration::from_micros(i * 7);
+            let origin = (i % 24) as u32;
+            match i % 3 {
+                0 => Event::new(at, EventKind::Set, i % 512, origin)
+                    .with_timeout(simtime::SimDuration::from_millis(1 + i % 90))
+                    .with_expires(at + simtime::SimDuration::from_millis(1 + i % 90)),
+                1 => Event::new(at, EventKind::Expire, i % 512, origin)
+                    .with_expires(at - simtime::SimDuration::from_micros(i % 900)),
+                _ => Event::new(at, EventKind::Cancel, i % 512, origin),
+            }
+        })
+        .collect();
+    time_ns_per_op(N, || {
+        let mut tracker = analysis::AttributionTracker::new();
+        tracker.push_chunk(&events);
+        tracker.origin_count() as u64
+    })
+}
+
 /// The conservative parallel DES engine on the fixed-total-work heavy
 /// calendar: the same timer population at every width, so `des_pdes/8`
 /// vs `des_pdes/1` is the engine's measured scaling.
@@ -142,6 +168,7 @@ fn run_suite() -> BTreeMap<String, f64> {
         );
     }
     results.insert("analysis_chunk".to_string(), bench_analysis_chunk());
+    results.insert("attribution_fold".to_string(), bench_attribution_fold());
     for partitions in [1u32, 2, 4, 8] {
         results.insert(format!("des_pdes/{partitions}"), bench_des_pdes(partitions));
     }

@@ -14,9 +14,22 @@
 //! `--metrics[=DIR]` (default `artifacts/metrics`) writes the telemetry
 //! run report — `run_report.json` plus `run_report.prom` — aggregating
 //! each experiment's sim-plane snapshot with this process's wall-plane
-//! spans and counters. The sim section is bit-identical across
-//! `--serial`, parallel and cached runs of the same parameters; see the
-//! Observability section of the README.
+//! spans and counters, plus `run_trace.chrome.json`, a Chrome
+//! trace-event profile of the run's stage spans (loadable in Perfetto /
+//! `chrome://tracing`). The sim section — including the per-origin
+//! attribution tables — is bit-identical across `--serial`, parallel
+//! and cached runs of the same parameters; see the Observability
+//! section of the README.
+//!
+//! `--top-origins[=N]` prints the paper-Table-3-style "top timer users"
+//! table (default N = 10): per origin, total sets with expired/cancelled
+//! percentages, folded from every experiment's attribution table.
+//!
+//! `--timer-list=SIM_SECS[,SIM_SECS...]` runs one dedicated, uncached
+//! Linux and Vista webserver experiment and dumps a deterministic
+//! `/proc/timer_list`-style snapshot of every simulated timer queue at
+//! each requested sim instant. The pending `(expiry, id)` multiset per
+//! queue is invariant across `--wheel-backend`/`--shards` choices.
 //!
 //! `--scale N` multiplies the trace duration by `N` (the webserver
 //! workloads scale their connection counts with duration, so this is the
@@ -146,6 +159,88 @@ fn wheel_counter_summary(results: &[timerstudy::ExperimentResult]) -> String {
     )
 }
 
+/// Parses `--top-origins` / `--top-origins=N` (default 10).
+fn top_origins(args: &[String]) -> Option<usize> {
+    for arg in args {
+        if arg == "--top-origins" {
+            return Some(10);
+        }
+        if let Some(n) = arg.strip_prefix("--top-origins=") {
+            match n.parse::<usize>() {
+                Ok(n) if n >= 1 => return Some(n),
+                _ => {
+                    eprintln!("--top-origins {n}: expected an integer >= 1");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Parses `--timer-list=SECS[,SECS...]` into sim instants (nanoseconds).
+fn timer_list_instants(args: &[String]) -> Option<Vec<u64>> {
+    let value = args
+        .iter()
+        .position(|a| a == "--timer-list")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--timer-list=").map(str::to_owned))
+        })?;
+    let mut instants = Vec::new();
+    for part in value.split(',') {
+        // Accept fractional seconds ("1.5") exactly: split on the point
+        // and scale the fraction digits, no float round-tripping.
+        let part = part.trim();
+        let (whole, frac) = part.split_once('.').unwrap_or((part, ""));
+        let parsed = whole.parse::<u64>().ok().and_then(|secs| {
+            if frac.is_empty() {
+                Some(secs * 1_000_000_000)
+            } else if frac.len() <= 9 && frac.chars().all(|c| c.is_ascii_digit()) {
+                let scale = 10u64.pow(9 - frac.len() as u32);
+                Some(secs * 1_000_000_000 + frac.parse::<u64>().unwrap() * scale)
+            } else {
+                None
+            }
+        });
+        match parsed {
+            Some(nanos) => instants.push(nanos),
+            None => {
+                eprintln!("--timer-list {value}: expected a comma list of sim seconds");
+                std::process::exit(2);
+            }
+        }
+    }
+    instants.sort_unstable();
+    instants.dedup();
+    Some(instants)
+}
+
+/// Prints the paper-Table-3-style "top timer users" table from the
+/// label-merged attribution tables of every experiment.
+fn print_top_origins(results: &[timerstudy::ExperimentResult], n: usize) {
+    let mut merged = telemetry::OriginTable::empty();
+    for r in results {
+        merged.merge(&r.report.attribution);
+    }
+    println!("Top timer users: top {n} origins by sets (all experiments)");
+    println!(
+        "{:<40} {:>12} {:>10} {:>11}",
+        "origin", "sets", "expired%", "cancelled%"
+    );
+    for row in merged.top(n) {
+        println!(
+            "{:<40} {:>12} {:>9.1}% {:>10.1}%",
+            row.label,
+            row.sets,
+            row.expiry_ratio() * 100.0,
+            row.cancel_ratio() * 100.0
+        );
+    }
+    println!();
+}
+
 /// Parses `--metrics` / `--metrics=DIR` into the report directory.
 fn metrics_dir(args: &[String]) -> Option<String> {
     for arg in args {
@@ -169,6 +264,14 @@ fn main() {
     let serial = args.iter().any(|a| a == "--serial");
     let collected = args.iter().any(|a| a == "--collected");
     let metrics = metrics_dir(&args);
+    let top_n = top_origins(&args);
+    let timer_list = timer_list_instants(&args);
+    if metrics.is_some() {
+        // Chrome-trace profiling rides with the run report: capture every
+        // wall-plane span from here on.
+        telemetry::chrome::set_capture(true);
+        telemetry::chrome::register_thread_name("main");
+    }
     let scale = match args
         .iter()
         .position(|a| a == "--scale")
@@ -399,6 +502,31 @@ fn main() {
     if let Some(dir) = &artifacts_dir {
         eprintln!("artifacts written to {dir}/");
     }
+    if let Some(n) = top_n {
+        print_top_origins(&results, n);
+    }
+    if let Some(instants) = &timer_list {
+        // Dedicated uncached serial runs (like the --collected oracle):
+        // the kernels dump their queues at each requested instant.
+        for os in [timerstudy::Os::Linux, timerstudy::Os::Vista] {
+            let spec = timerstudy::ExperimentSpec::new(
+                os,
+                timerstudy::Workload::Webserver,
+                duration,
+                SEED,
+            )
+            .with_backend(des_backend);
+            eprintln!(
+                "timer-list: dedicated {} Webserver run on backend {}...",
+                os.label(),
+                des_backend.label()
+            );
+            let (_, captures) = timerstudy::run_experiment_with_timer_list(spec, instants);
+            for capture in &captures {
+                println!("{}", capture.render());
+            }
+        }
+    }
     // The final run summary is always printed, metrics requested or not.
     let cache = timerstudy::cache::global();
     bench::print_stage_summary(&format!("repro_all.{mode}"), &results, started);
@@ -420,7 +548,15 @@ fn main() {
             .expect("write run_report.json");
         std::fs::write(format!("{dir}/run_report.prom"), report.to_prometheus())
             .expect("write run_report.prom");
-        eprintln!("telemetry run report written to {dir}/run_report.{{json,prom}}");
+        std::fs::write(
+            format!("{dir}/run_trace.chrome.json"),
+            telemetry::chrome::export_json(),
+        )
+        .expect("write run_trace.chrome.json");
+        eprintln!(
+            "telemetry run report written to {dir}/run_report.{{json,prom}} \
+             and {dir}/run_trace.chrome.json"
+        );
     }
     // The analysis pipeline's memory bound, from each experiment's sim
     // snapshot: on the streaming paths this is capped by the chunk size

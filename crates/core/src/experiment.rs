@@ -479,32 +479,44 @@ struct PdesWorkerStats {
 /// every chunk through its assigned analyzer parts. Pure consumer — it
 /// records nothing on the sim plane, which is thread-local to the kernel.
 fn pdes_worker(
+    worker: usize,
     mut inlet: des::pdes::Inlet<std::sync::Arc<Vec<Event>>>,
     mut parts: Vec<(usize, analysis::AnalyzerPart)>,
 ) -> (Vec<(usize, analysis::AnalyzerPart)>, PdesWorkerStats) {
+    // Wall-plane only: the busy/idle spans become this partition's
+    // timeline row in the Chrome trace profile. Nothing here touches the
+    // sim plane, so the pdes byte-identity guarantees are unaffected.
+    telemetry::chrome::register_thread_name(&format!("des.worker.{worker}"));
     let started = std::time::Instant::now();
     let mut chunks = 0u64;
     loop {
-        while let Some((_, _, chunk)) = inlet.pop_pending() {
-            for (_, part) in parts.iter_mut() {
-                part.push_chunk(&chunk);
+        {
+            let _busy = telemetry::span("des.partition.busy");
+            while let Some((_, _, chunk)) = inlet.pop_pending() {
+                for (_, part) in parts.iter_mut() {
+                    part.push_chunk(&chunk);
+                }
+                chunks += 1;
             }
-            chunks += 1;
         }
         // A closed edge means end of stream; the pending set above is
         // already drained, so the fold is complete.
         if inlet.horizon().is_none() {
             break;
         }
+        let _idle = telemetry::span("des.partition.idle");
         if !inlet.wait() {
             break;
         }
     }
-    while let Some((_, _, chunk)) = inlet.pop_pending() {
-        for (_, part) in parts.iter_mut() {
-            part.push_chunk(&chunk);
+    {
+        let _busy = telemetry::span("des.partition.busy");
+        while let Some((_, _, chunk)) = inlet.pop_pending() {
+            for (_, part) in parts.iter_mut() {
+                part.push_chunk(&chunk);
+            }
+            chunks += 1;
         }
-        chunks += 1;
     }
     let idle_ns = inlet.idle_ns();
     let stats = PdesWorkerStats {
@@ -540,12 +552,12 @@ fn run_experiment_pdes_with(spec: ExperimentSpec, cfg: AnalyzerConfig) -> Experi
             }
             let mut outlets = Vec::with_capacity(workers);
             let mut handles = Vec::with_capacity(workers);
-            for slot in assigned {
+            for (worker, slot) in assigned.into_iter().enumerate() {
                 // One edge per worker: kernel partition -> analysis
                 // partition, FIFO in the chunk-clock timestamps.
                 let (mut outs, inlet) = channel(&[PartitionId(0)], PDES_CHUNK_CHANNEL_DEPTH);
                 outlets.push(outs.pop().expect("one outlet per declared edge"));
-                handles.push(scope.spawn(move || pdes_worker(inlet, slot)));
+                handles.push(scope.spawn(move || pdes_worker(worker, inlet, slot)));
             }
 
             let fanout: Box<dyn TraceSink> = Box::new(PdesFanoutSink::new(outlets));
@@ -673,6 +685,30 @@ fn analyze_collected(
     let mut analyzer = TraceAnalyzer::new(cfg);
     analyzer.visit_chunk(&events);
     analyzer.finish(strings)
+}
+
+/// Runs one experiment serially with a timer-list capture plan: the
+/// kernel dumps a `/proc/timer_list`-style [`wheel::TimerListCapture`]
+/// at each requested sim instant (nanoseconds since boot).
+///
+/// Always a dedicated, uncached, single-threaded run — like the
+/// `--collected` oracle path, a capture run exists for its side channel
+/// and must not poison (or be satisfied from) the experiment cache. The
+/// captures are deterministic: same spec + instants → byte-identical
+/// renders, and the pending `(expiry, id)` multiset per queue is
+/// invariant across `spec.backend` choices (`tests/timer_list.rs`).
+pub fn run_experiment_with_timer_list(
+    spec: ExperimentSpec,
+    instants_nanos: &[u64],
+) -> (ExperimentResult, Vec<wheel::TimerListCapture>) {
+    assert_eq!(
+        spec.des_threads, 0,
+        "timer-list capture uses the serial path"
+    );
+    wheel::snapshot::install_plan(instants_nanos.to_vec());
+    let result = run_experiment(spec);
+    let captures = wheel::snapshot::take_captures();
+    (result, captures)
 }
 
 /// Runs a batch through the collected oracle path, serially and

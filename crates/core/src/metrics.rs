@@ -54,6 +54,9 @@ pub fn run_report(
         .map(|r| ExperimentMetrics {
             label: spec_label(&r.spec),
             sim: r.metrics.clone(),
+            // The attribution table lives on the stored report, so cached
+            // results replay the table of the run that produced them.
+            attr: r.report.attribution.clone(),
         })
         .collect();
     RunReport::new(mode, duration_secs, seed, threads, wall, experiments)
@@ -86,6 +89,11 @@ mod tests {
         assert_eq!(report.experiments.len(), 1);
         assert_eq!(report.experiments[0].label, "Linux Idle 2s seed11");
         assert_eq!(report.sim_totals, result.metrics);
+        assert!(
+            !report.attr_totals.rows.is_empty(),
+            "an experiment must attribute timer activity to origins"
+        );
+        assert!(report.attr_totals.total_sets() > 0);
         let parsed = telemetry::json::parse(&report.to_json()).expect("valid JSON");
         telemetry::report::validate_value(&parsed).expect("schema-valid");
     }

@@ -1,0 +1,108 @@
+//! Cross-backend equivalence of the `/proc/timer_list` snapshot plane.
+//!
+//! Every [`wheel::TimerQueue`] backend reports *armed expiries* from the
+//! shared `ActiveSet` bookkeeping, so at any capture instant the pending
+//! `(expiry, id)` multiset of every simulated timer queue must be
+//! identical across all five flat backends and every shard width — only
+//! base placement (and the migration counters) may differ.
+
+use simtime::SimDuration;
+use timerstudy::{run_experiment_with_timer_list, Backend, ExperimentSpec, Os, Workload};
+
+const INSTANTS: [u64; 2] = [1_500_000_000, 3_000_000_000];
+
+fn spec(os: Os, backend: Backend) -> ExperimentSpec {
+    ExperimentSpec::new(os, Workload::Webserver, SimDuration::from_secs(4), 7).with_backend(backend)
+}
+
+/// The backend-invariant view of one run's captures: per capture, the
+/// instant plus each queue's name and pending multiset.
+type CaptureView = Vec<(u64, Vec<(String, Vec<(u64, u64)>)>)>;
+
+fn capture_view(os: Os, backend: Backend) -> CaptureView {
+    let (_, captures) = run_experiment_with_timer_list(spec(os, backend), &INSTANTS);
+    assert_eq!(
+        captures.len(),
+        INSTANTS.len(),
+        "{} on {} captured {} of {} requested instants",
+        os.label(),
+        backend.label(),
+        captures.len(),
+        INSTANTS.len()
+    );
+    captures
+        .iter()
+        .map(|c| {
+            (
+                c.at_nanos,
+                c.queues
+                    .iter()
+                    .map(|q| (q.name.clone(), q.pending_multiset()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn all_backends_report_identical_pending_multisets() {
+    let backends = [
+        Backend::Native,
+        Backend::Hierarchical,
+        Backend::Hashed,
+        Backend::SortedList,
+        Backend::Heap,
+        Backend::Native.with_shards(2),
+        Backend::Native.with_shards(4),
+    ];
+    for os in [Os::Linux, Os::Vista] {
+        let baseline = capture_view(os, Backend::Native);
+        assert!(
+            baseline
+                .iter()
+                .any(|(_, queues)| queues.iter().any(|(_, pending)| !pending.is_empty())),
+            "{}: baseline captures must show pending timers",
+            os.label()
+        );
+        for backend in backends {
+            let view = capture_view(os, backend);
+            assert_eq!(
+                baseline,
+                view,
+                "{} pending multisets differ between native and {}",
+                os.label(),
+                backend.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn renders_are_deterministic_across_repeated_runs() {
+    for os in [Os::Linux, Os::Vista] {
+        let (_, first) = run_experiment_with_timer_list(spec(os, Backend::Native), &INSTANTS);
+        let (_, second) = run_experiment_with_timer_list(spec(os, Backend::Native), &INSTANTS);
+        let a: Vec<String> = first.iter().map(wheel::TimerListCapture::render).collect();
+        let b: Vec<String> = second.iter().map(wheel::TimerListCapture::render).collect();
+        assert_eq!(
+            a,
+            b,
+            "{} timer-list renders must be reproducible",
+            os.label()
+        );
+    }
+}
+
+#[test]
+fn flat_forced_backends_render_byte_identically() {
+    // Flat backends share base placement (everything on base 0), so even
+    // the full renders — origins, pids, counters — must match.
+    for os in [Os::Linux, Os::Vista] {
+        let (_, native) =
+            run_experiment_with_timer_list(spec(os, Backend::Hierarchical), &INSTANTS);
+        let (_, heap) = run_experiment_with_timer_list(spec(os, Backend::Heap), &INSTANTS);
+        let a: Vec<String> = native.iter().map(wheel::TimerListCapture::render).collect();
+        let b: Vec<String> = heap.iter().map(wheel::TimerListCapture::render).collect();
+        assert_eq!(a, b);
+    }
+}

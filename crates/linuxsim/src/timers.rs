@@ -394,6 +394,20 @@ impl TimerBase {
     pub fn base_of(&self, handle: TimerHandle) -> Option<u32> {
         self.wheel.base_of(handle.0 as u64)
     }
+
+    /// The `/proc/timer_list` section for the standard base: every
+    /// pending timer's armed expiry jiffy, base, owner and provenance.
+    pub fn timer_list(&self, strings: &trace::StringTable) -> wheel::QueueListing {
+        wheel::QueueListing::from_snapshot(
+            "base",
+            self.clock.hz().period().as_nanos(),
+            &self.wheel.snapshot(),
+            |id| {
+                let slot = &self.slots[id as usize];
+                (strings.resolve(slot.origin).to_owned(), slot.pid)
+            },
+        )
+    }
 }
 
 impl Default for TimerBase {

@@ -1,0 +1,231 @@
+//! Per-origin timer attribution tables — the paper's "who set this
+//! timer" story (§5's provenance-tracking proposal, Table 3's
+//! per-subsystem breakdown) as a first-class sim-plane structure.
+//!
+//! An [`OriginTable`] is a label-resolved, deterministic summary of every
+//! timer set/cancel/expiry an experiment performed, folded per origin:
+//! counts, the log₂ histogram of requested timeout values, and the log₂
+//! histogram of set-vs-fired slack (how far past its armed expiry a timer
+//! actually fired). The fold itself lives in
+//! `crates/analysis/src/attribution.rs` — this module only defines the
+//! table the report layer renders, so the telemetry crate stays
+//! dependency-free.
+//!
+//! Tables are a pure function of the event stream: rows are sorted on
+//! `(sets desc, label asc)`, label resolution goes through the trace
+//! string table (itself deterministic), and merging two tables is a
+//! label-keyed fold. That is what lets the run report place attribution
+//! inside the byte-compared `sim` section.
+
+use crate::hist::LogHistogram;
+use crate::json::escape;
+
+/// Attribution of one origin's timer activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginRow {
+    /// Resolved origin label (e.g. `tcp:retransmit`, `kernel:workqueue_1s`).
+    pub label: String,
+    /// Timers initialised under this origin.
+    pub inits: u64,
+    /// Set (arm or re-arm) operations.
+    pub sets: u64,
+    /// Cancels, including waits satisfied before their timeout.
+    pub cancels: u64,
+    /// Expirations, including waits that timed out.
+    pub expirations: u64,
+    /// Log₂ histogram of requested timeout values, in nanoseconds.
+    pub timeout_ns: LogHistogram,
+    /// Log₂ histogram of set-vs-fired slack (delivery minus armed
+    /// expiry), in nanoseconds.
+    pub slack_ns: LogHistogram,
+}
+
+impl OriginRow {
+    /// A zeroed row for `label`.
+    pub fn new(label: String) -> Self {
+        OriginRow {
+            label,
+            inits: 0,
+            sets: 0,
+            cancels: 0,
+            expirations: 0,
+            timeout_ns: LogHistogram::new(),
+            slack_ns: LogHistogram::new(),
+        }
+    }
+
+    /// Fraction of sets that expired (0 when nothing was set).
+    pub fn expiry_ratio(&self) -> f64 {
+        if self.sets == 0 {
+            0.0
+        } else {
+            self.expirations as f64 / self.sets as f64
+        }
+    }
+
+    /// Fraction of sets that were cancelled (0 when nothing was set).
+    pub fn cancel_ratio(&self) -> f64 {
+        if self.sets == 0 {
+            0.0
+        } else {
+            self.cancels as f64 / self.sets as f64
+        }
+    }
+
+    /// Folds another row (same origin) into this one.
+    pub fn merge(&mut self, other: &OriginRow) {
+        self.inits += other.inits;
+        self.sets += other.sets;
+        self.cancels += other.cancels;
+        self.expirations += other.expirations;
+        self.timeout_ns.merge(&other.timeout_ns);
+        self.slack_ns.merge(&other.slack_ns);
+    }
+}
+
+/// The per-origin attribution of one experiment (or a merged run).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OriginTable {
+    /// Rows in canonical order: sets descending, then label ascending.
+    pub rows: Vec<OriginRow>,
+}
+
+impl OriginTable {
+    /// An empty table.
+    pub const fn empty() -> Self {
+        OriginTable { rows: Vec::new() }
+    }
+
+    /// Restores the canonical row order after construction or merging.
+    pub fn sort(&mut self) {
+        self.rows
+            .sort_by(|a, b| b.sets.cmp(&a.sets).then_with(|| a.label.cmp(&b.label)));
+    }
+
+    /// Folds another table into this one, keyed by label, keeping the
+    /// canonical order.
+    pub fn merge(&mut self, other: &OriginTable) {
+        for theirs in &other.rows {
+            match self.rows.iter_mut().find(|r| r.label == theirs.label) {
+                Some(mine) => mine.merge(theirs),
+                None => self.rows.push(theirs.clone()),
+            }
+        }
+        self.sort();
+    }
+
+    /// The top `n` rows by set count (the whole table when `n` is larger).
+    pub fn top(&self, n: usize) -> &[OriginRow] {
+        &self.rows[..n.min(self.rows.len())]
+    }
+
+    /// Total set operations across every origin.
+    pub fn total_sets(&self) -> u64 {
+        self.rows.iter().map(|r| r.sets).sum()
+    }
+
+    /// Renders the table as a JSON object (`label` → row) appended to
+    /// `out` — the shape `write_sim_body` embeds in the run report.
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{}: {{\"inits\": {}, \"sets\": {}, \"cancels\": {}, \"expirations\": {}, ",
+                escape(&row.label),
+                row.inits,
+                row.sets,
+                row.cancels,
+                row.expirations
+            ));
+            write_hist_json(out, "timeout_ns", &row.timeout_ns);
+            out.push_str(", ");
+            write_hist_json(out, "slack_ns", &row.slack_ns);
+            out.push('}');
+        }
+        out.push('}');
+    }
+}
+
+fn write_hist_json(out: &mut String, name: &str, hist: &LogHistogram) {
+    out.push_str(&format!(
+        "\"{name}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+        hist.count(),
+        hist.sum()
+    ));
+    for (j, (index, count)) in hist.nonzero().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{index}\": {count}"));
+    }
+    out.push_str("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str, sets: u64) -> OriginRow {
+        let mut r = OriginRow::new(label.to_string());
+        r.sets = sets;
+        r.expirations = sets / 2;
+        r.timeout_ns.record(5_000_000);
+        r
+    }
+
+    #[test]
+    fn merge_keys_by_label_and_keeps_order() {
+        let mut a = OriginTable {
+            rows: vec![row("tcp:rto", 10), row("mm:writeback", 4)],
+        };
+        let b = OriginTable {
+            rows: vec![row("mm:writeback", 20), row("net:arp", 1)],
+        };
+        a.merge(&b);
+        assert_eq!(a.rows.len(), 3);
+        assert_eq!(a.rows[0].label, "mm:writeback");
+        assert_eq!(a.rows[0].sets, 24);
+        assert_eq!(a.rows[0].timeout_ns.count(), 2);
+        assert_eq!(a.rows[1].label, "tcp:rto");
+        assert_eq!(a.rows[2].label, "net:arp");
+        assert_eq!(a.total_sets(), 35);
+    }
+
+    #[test]
+    fn ratios_handle_empty_rows() {
+        let empty = OriginRow::new("x".into());
+        assert_eq!(empty.expiry_ratio(), 0.0);
+        assert_eq!(empty.cancel_ratio(), 0.0);
+        let r = row("y", 8);
+        assert!((r.expiry_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_on_label() {
+        let mut t = OriginTable {
+            rows: vec![row("b", 5), row("a", 5), row("c", 9)],
+        };
+        t.sort();
+        let labels: Vec<&str> = t.rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["c", "a", "b"]);
+    }
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let t = OriginTable {
+            rows: vec![row("tcp:rto", 3)],
+        };
+        let mut out = String::new();
+        t.write_json(&mut out);
+        let v = crate::json::parse(&out).expect("attribution JSON parses");
+        let row = v.get("tcp:rto").expect("row present");
+        assert_eq!(
+            row.get("sets").and_then(crate::json::Value::as_u64),
+            Some(3)
+        );
+        assert!(row.get("timeout_ns").and_then(|h| h.get("count")).is_some());
+    }
+}

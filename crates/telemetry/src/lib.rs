@@ -22,6 +22,8 @@
 //! Prometheus text exposition; [`json`] carries the minimal parser the
 //! run-report schema validation (and CI drift check) is built on.
 
+pub mod attr;
+pub mod chrome;
 pub mod hist;
 pub mod json;
 pub mod registry;
@@ -29,6 +31,7 @@ pub mod report;
 pub mod sim;
 pub mod span;
 
+pub use attr::{OriginRow, OriginTable};
 pub use hist::LogHistogram;
 pub use registry::{global, Counter, Gauge, Registry, SpanStat, WallSnapshot};
 pub use report::{stage_summary_line, ExperimentMetrics, RunReport};

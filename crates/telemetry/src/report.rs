@@ -16,13 +16,15 @@
 
 use std::time::Duration;
 
+use crate::attr::OriginTable;
 use crate::hist::LogHistogram;
 use crate::json::{escape, Value};
 use crate::registry::{global, WallSnapshot};
 use crate::sim::{SimCounter, SimGauge, SimHist, SimSnapshot};
 
-/// Current run-report schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Current run-report schema version (2 added the per-origin
+/// `attribution` table to every sim body).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The sim-plane snapshot of one experiment, labelled for the report.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +33,8 @@ pub struct ExperimentMetrics {
     pub label: String,
     /// The per-experiment sim-plane snapshot.
     pub sim: SimSnapshot,
+    /// The experiment's per-origin timer attribution.
+    pub attr: OriginTable,
 }
 
 /// A frozen report for one complete run.
@@ -50,6 +54,9 @@ pub struct RunReport {
     pub experiments: Vec<ExperimentMetrics>,
     /// All experiment snapshots merged.
     pub sim_totals: SimSnapshot,
+    /// All experiment attribution tables merged by label — the paper's
+    /// Table-3-style "top timer users" view of the whole run.
+    pub attr_totals: OriginTable,
     /// The wall-plane snapshot.
     pub wall: WallSnapshot,
 }
@@ -66,8 +73,10 @@ impl RunReport {
         experiments: Vec<ExperimentMetrics>,
     ) -> Self {
         let mut sim_totals = SimSnapshot::empty();
+        let mut attr_totals = OriginTable::empty();
         for exp in &experiments {
             sim_totals.merge(&exp.sim);
+            attr_totals.merge(&exp.attr);
         }
         RunReport {
             mode: mode.to_string(),
@@ -77,6 +86,7 @@ impl RunReport {
             wall_seconds: wall.as_secs_f64(),
             experiments,
             sim_totals,
+            attr_totals,
             wall: global().wall_snapshot(),
         }
     }
@@ -96,7 +106,7 @@ impl RunReport {
             out.push_str("      {\"label\": ");
             out.push_str(&escape(&exp.label));
             out.push_str(", ");
-            write_sim_body(&mut out, &exp.sim);
+            write_sim_body(&mut out, &exp.sim, &exp.attr);
             out.push('}');
             if i + 1 < self.experiments.len() {
                 out.push(',');
@@ -104,7 +114,7 @@ impl RunReport {
             out.push('\n');
         }
         out.push_str("    ],\n    \"totals\": {");
-        write_sim_body(&mut out, &self.sim_totals);
+        write_sim_body(&mut out, &self.sim_totals, &self.attr_totals);
         out.push_str("}\n  },\n");
         out.push_str("  \"wall\": {\n    \"counters\": {");
         for (i, (name, value)) in self.wall.counters.iter().enumerate() {
@@ -180,6 +190,34 @@ impl RunReport {
             out.push_str(&format!("{name}_sum{{plane=\"sim\"}} {}\n", hist.sum()));
             out.push_str(&format!("{name}_count{{plane=\"sim\"}} {}\n", hist.count()));
         }
+        for kind in ["sets", "cancels", "expirations"] {
+            let name = format!("timerstudy_timer_origin_{kind}_total");
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for row in &self.attr_totals.rows {
+                let value = match kind {
+                    "sets" => row.sets,
+                    "cancels" => row.cancels,
+                    _ => row.expirations,
+                };
+                out.push_str(&format!(
+                    "{name}{{plane=\"sim\",origin=\"{}\"}} {value}\n",
+                    row.label
+                ));
+            }
+        }
+        out.push_str("# TYPE timerstudy_timer_origin_timeout_ns histogram\n");
+        for row in &self.attr_totals.rows {
+            out.push_str(&format!(
+                "timerstudy_timer_origin_timeout_ns_sum{{plane=\"sim\",origin=\"{}\"}} {}\n",
+                row.label,
+                row.timeout_ns.sum()
+            ));
+            out.push_str(&format!(
+                "timerstudy_timer_origin_timeout_ns_count{{plane=\"sim\",origin=\"{}\"}} {}\n",
+                row.label,
+                row.timeout_ns.count()
+            ));
+        }
         for (name, value) in &self.wall.counters {
             let full = format!("timerstudy_{name}");
             out.push_str(&format!("# TYPE {full} counter\n"));
@@ -213,7 +251,7 @@ impl RunReport {
     }
 }
 
-fn write_sim_body(out: &mut String, sim: &SimSnapshot) {
+fn write_sim_body(out: &mut String, sim: &SimSnapshot, attr: &OriginTable) {
     out.push_str("\"counters\": {");
     for (i, c) in SimCounter::ALL.iter().enumerate() {
         if i > 0 {
@@ -248,7 +286,8 @@ fn write_sim_body(out: &mut String, sim: &SimSnapshot) {
         }
         out.push_str("}}");
     }
-    out.push('}');
+    out.push_str("}, \"attribution\": ");
+    attr.write_json(out);
 }
 
 /// Validates a parsed run report against schema version 1.
@@ -331,15 +370,37 @@ fn validate_sim_body(v: &Value) -> Result<(), String> {
             .find(|(k, _)| k == h.name())
             .map(|(_, v)| v)
             .ok_or_else(|| format!("missing hist {}", h.name()))?;
-        for key in ["count", "sum"] {
-            hist.get(key)
-                .and_then(Value::as_u64)
-                .ok_or_else(|| format!("hist {} missing {key}", h.name()))?;
-        }
-        hist.get("buckets")
-            .and_then(Value::as_obj)
-            .ok_or_else(|| format!("hist {} missing buckets", h.name()))?;
+        validate_hist(hist).map_err(|e| format!("hist {}: {e}", h.name()))?;
     }
+    let attribution = v
+        .get("attribution")
+        .and_then(Value::as_obj)
+        .ok_or("missing attribution")?;
+    for (label, row) in attribution {
+        for key in ["inits", "sets", "cancels", "expirations"] {
+            row.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("attribution {label:?} missing {key}"))?;
+        }
+        for key in ["timeout_ns", "slack_ns"] {
+            let hist = row
+                .get(key)
+                .ok_or_else(|| format!("attribution {label:?} missing {key}"))?;
+            validate_hist(hist).map_err(|e| format!("attribution {label:?} {key}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_hist(hist: &Value) -> Result<(), String> {
+    for key in ["count", "sum"] {
+        hist.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing {key}"))?;
+    }
+    hist.get("buckets")
+        .and_then(Value::as_obj)
+        .ok_or("missing buckets")?;
     Ok(())
 }
 
@@ -347,6 +408,34 @@ fn validate_sim_body(v: &Value) -> Result<(), String> {
 /// deterministic runs must agree on.
 pub fn sim_section_canonical(v: &Value) -> Result<String, String> {
     Ok(v.get("sim").ok_or("missing sim section")?.canonical())
+}
+
+/// The canonical form of the attribution tables alone: one canonical
+/// object per experiment, in order, labels excluded.
+///
+/// Backends legitimately differ in structure-specific sim counters
+/// (cascades, migrations), so the full `sim` section cannot be compared
+/// across a backend pair — but per-origin attribution is a fold over the
+/// trace alone and must not drift. This is the byte string the CI
+/// backend-pair check pins.
+pub fn attr_section_canonical(v: &Value) -> Result<String, String> {
+    let experiments = v
+        .get("sim")
+        .and_then(|s| s.get("experiments"))
+        .and_then(Value::as_arr)
+        .ok_or("missing sim.experiments")?;
+    let mut out = String::from("[");
+    for (i, exp) in experiments.iter().enumerate() {
+        let attribution = exp
+            .get("attribution")
+            .ok_or_else(|| format!("experiment {i} missing attribution"))?;
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&attribution.canonical());
+    }
+    out.push(']');
+    Ok(out)
 }
 
 /// Formats the one-line per-stage summary the figure binaries print to
@@ -372,6 +461,10 @@ mod tests {
             sim::add(SimCounter::TraceRecords, 100);
             sim::observe(SimHist::NetRttMicros, 130_000);
         });
+        let mut row = crate::attr::OriginRow::new("tcp:rto".into());
+        row.sets = 12;
+        row.expirations = 3;
+        row.timeout_ns.record(200_000_000);
         RunReport::new(
             "serial",
             30,
@@ -381,6 +474,7 @@ mod tests {
             vec![ExperimentMetrics {
                 label: "linux idle 30s seed42".into(),
                 sim: snap,
+                attr: crate::attr::OriginTable { rows: vec![row] },
             }],
         )
     }
@@ -423,6 +517,40 @@ mod tests {
         assert!(prom.contains("timerstudy_wheel_schedules_total{plane=\"sim\"} 12"));
         assert!(prom.contains("plane=\"wall\""));
         assert!(prom.contains("timerstudy_net_rtt_us_bucket{plane=\"sim\",le=\"+Inf\"} 1"));
+        assert!(prom
+            .contains("timerstudy_timer_origin_sets_total{plane=\"sim\",origin=\"tcp:rto\"} 12"));
+    }
+
+    #[test]
+    fn attribution_rides_in_sim_and_extracts_canonically() {
+        let report = sample_report();
+        let parsed = json::parse(&report.to_json()).unwrap();
+        let attr = parsed
+            .get("sim")
+            .and_then(|s| s.get("totals"))
+            .and_then(|t| t.get("attribution"))
+            .expect("totals carry attribution");
+        assert_eq!(
+            attr.get("tcp:rto")
+                .and_then(|r| r.get("sets"))
+                .and_then(Value::as_u64),
+            Some(12)
+        );
+        let canonical = attr_section_canonical(&parsed).unwrap();
+        assert!(canonical.contains("\"tcp:rto\""));
+        // Wall-plane churn must not change the attribution bytes.
+        let mut other = report.clone();
+        other.wall_seconds = 5.0;
+        let b = json::parse(&other.to_json()).unwrap();
+        assert_eq!(canonical, attr_section_canonical(&b).unwrap());
+    }
+
+    #[test]
+    fn validation_rejects_missing_attribution() {
+        let report = sample_report();
+        let text = report.to_json().replace("\"attribution\"", "\"attrib\"");
+        let parsed = json::parse(&text).unwrap();
+        assert!(validate_value(&parsed).is_err());
     }
 
     #[test]

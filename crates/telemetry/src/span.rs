@@ -29,8 +29,15 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            let end = Instant::now();
+            let ns = end
+                .duration_since(start)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
             global().record_span_ns(self.name, ns);
+            if crate::chrome::capture_enabled() {
+                crate::chrome::record_span(self.name, start, end);
+            }
         }
     }
 }

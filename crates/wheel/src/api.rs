@@ -90,6 +90,51 @@ pub trait TimerQueue: std::fmt::Debug {
             None
         }
     }
+
+    /// A `/proc/timer_list`-style view of the queue's pending set.
+    ///
+    /// The snapshot reports *armed* expiry ticks from the shared
+    /// [`ActiveSet`] bookkeeping — never structure-internal slot
+    /// positions — so at any instant every backend (and every shard
+    /// width) reports the identical entry multiset. That equivalence is
+    /// part of the backend contract, pinned by `tests/timer_list.rs` at
+    /// the experiment level.
+    fn snapshot(&self) -> QueueSnapshot;
+}
+
+/// One pending timer in a [`QueueSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SnapshotEntry {
+    /// Armed (absolute) expiry tick.
+    pub expires: Tick,
+    /// The caller-chosen timer id.
+    pub id: TimerId,
+    /// The per-CPU base holding the entry (0 for single-base structures).
+    pub base: u32,
+}
+
+/// A deterministic view of one timer queue at one instant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueueSnapshot {
+    /// The queue's current tick.
+    pub now: Tick,
+    /// Every pending timer, sorted by (armed expiry, id).
+    pub entries: Vec<SnapshotEntry>,
+    /// Pending count per base (length 1 for single-base structures).
+    pub base_pending: Vec<u64>,
+    /// Cross-base migrations performed so far (0 for single-base
+    /// structures).
+    pub migrations: u64,
+    /// Current pending-count spread between fullest and emptiest base.
+    pub imbalance: u64,
+}
+
+impl QueueSnapshot {
+    /// The `(expires, id)` multiset — the backend-equivalence key (base
+    /// placement is sharding-specific and excluded).
+    pub fn pending_multiset(&self) -> Vec<(Tick, TimerId)> {
+        self.entries.iter().map(|e| (e.expires, e.id)).collect()
+    }
 }
 
 /// Shared active-set bookkeeping with generation counters for lazy deletion.
@@ -298,6 +343,29 @@ impl ActiveSet {
     /// the kernels do a bounded wheel scan instead.
     pub fn min_expiry(&self) -> Option<Tick> {
         self.entries.values().map(|e| e.expires).min()
+    }
+
+    /// Builds the [`QueueSnapshot`] body shared by every backend: the
+    /// sorted pending entries and per-base counts from this set's armed
+    /// state (`now`/`migrations` are the caller's).
+    pub fn snapshot_at(&self, now: Tick, migrations: u64) -> QueueSnapshot {
+        let mut entries: Vec<SnapshotEntry> = self
+            .entries
+            .iter()
+            .map(|(&id, e)| SnapshotEntry {
+                expires: e.expires,
+                id,
+                base: e.base,
+            })
+            .collect();
+        entries.sort_unstable();
+        QueueSnapshot {
+            now,
+            entries,
+            base_pending: self.base_pending.clone(),
+            migrations,
+            imbalance: self.imbalance(),
+        }
     }
 }
 

@@ -146,6 +146,10 @@ impl TimerQueue for HashedWheel {
     fn len(&self) -> usize {
         self.active.len()
     }
+
+    fn snapshot(&self) -> crate::api::QueueSnapshot {
+        self.active.snapshot_at(self.current, 0)
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,10 @@ impl TimerQueue for HeapQueue {
     fn len(&self) -> usize {
         self.active.len()
     }
+
+    fn snapshot(&self) -> crate::api::QueueSnapshot {
+        self.active.snapshot_at(self.current, 0)
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod hashed;
 pub mod heap;
 pub mod hierarchical;
 pub mod sharded;
+pub mod snapshot;
 pub mod sortedlist;
 
 pub use api::{Tick, TimerId, TimerQueue};
@@ -44,4 +45,5 @@ pub use hashed::HashedWheel;
 pub use heap::HeapQueue;
 pub use hierarchical::HierarchicalWheel;
 pub use sharded::ShardedQueue;
+pub use snapshot::{QueueListing, TimerListCapture, TimerListEntry};
 pub use sortedlist::SortedList;

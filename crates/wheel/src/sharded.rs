@@ -54,6 +54,10 @@ pub struct ShardedQueue {
     current: Tick,
     /// The simulated CPU issuing schedule calls, if the kernel said so.
     context_cpu: Option<u32>,
+    /// Cross-base migrations performed so far (the local mirror of the
+    /// `wheel_base_migrations_total` sim counter, kept here so snapshots
+    /// can report it per queue).
+    migrations: u64,
 }
 
 impl ShardedQueue {
@@ -68,6 +72,7 @@ impl ShardedQueue {
             next_gen: 0,
             current: 0,
             context_cpu: None,
+            migrations: 0,
         }
     }
 
@@ -110,6 +115,7 @@ impl TimerQueue for ShardedQueue {
         let effective = expires.max(self.current + 1);
         let outcome = self.meta.arm_on_base(id, expires, base, &mut self.next_gen);
         if let Some(from) = outcome.migrated_from {
+            self.migrations += 1;
             // Migration: dequeue from the old CPU's base. Without this the
             // old base's lazy-deletion entry would be orphaned — each base
             // has its own generation space, so only the wrapper can tell
@@ -188,6 +194,13 @@ impl TimerQueue for ShardedQueue {
 
     fn base_of(&self, id: TimerId) -> Option<u32> {
         self.meta.base_of(id)
+    }
+
+    fn snapshot(&self) -> crate::api::QueueSnapshot {
+        // The wrapper's meta set carries armed expiries and base
+        // placement for every pending timer, so the per-base view falls
+        // out of the shared snapshot body.
+        self.meta.snapshot_at(self.current, self.migrations)
     }
 }
 

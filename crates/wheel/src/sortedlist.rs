@@ -83,6 +83,10 @@ impl TimerQueue for SortedList {
     fn len(&self) -> usize {
         self.active.len()
     }
+
+    fn snapshot(&self) -> crate::api::QueueSnapshot {
+        self.active.snapshot_at(self.current, 0)
+    }
 }
 
 #[cfg(test)]
