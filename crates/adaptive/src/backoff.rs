@@ -27,6 +27,7 @@ impl ExponentialBackoff {
     /// Panics if `factor < 1`.
     pub fn new(initial: SimDuration, factor: f64, cap: SimDuration) -> Self {
         assert!(factor >= 1.0, "backoff factor must be >= 1, got {factor}");
+        let initial = initial.min(cap);
         ExponentialBackoff {
             initial,
             factor,
@@ -56,9 +57,22 @@ impl ExponentialBackoff {
     }
 
     /// Advances the backoff, returning the *new* value.
+    ///
+    /// Once `current` has reached `cap` the value is saturated: further
+    /// advances return exactly `cap` (only the step counter moves). The
+    /// growth step is also clamped to be monotone — the f64 round-trip in
+    /// `mul_f64` must never walk the value backwards for `factor >= 1`.
     pub fn advance(&mut self) -> SimDuration {
-        self.current = self.current.mul_f64(self.factor).min(self.cap);
-        self.steps += 1;
+        self.steps = self.steps.saturating_add(1);
+        if self.current >= self.cap {
+            self.current = self.cap;
+            return self.current;
+        }
+        self.current = self
+            .current
+            .mul_f64(self.factor)
+            .max(self.current)
+            .min(self.cap);
         self.current
     }
 
@@ -76,12 +90,25 @@ impl ExponentialBackoff {
 
     /// Total time consumed by `n` attempts that each wait out the current
     /// value before advancing (the §2.2.2 recovery-latency calculation).
+    ///
+    /// Saturating: once the sequence stops growing (the cap is reached,
+    /// or `factor` rounds to a no-op) the remaining attempts are summed
+    /// in closed form, so large `n` neither overflows nor loops `n`
+    /// times.
     pub fn total_after(initial: SimDuration, factor: f64, cap: SimDuration, n: u32) -> SimDuration {
         let mut b = ExponentialBackoff::new(initial, factor, cap);
         let mut total = SimDuration::ZERO;
-        for _ in 0..n {
-            total += b.current();
-            b.advance();
+        let mut left = n as u64;
+        while left > 0 {
+            let cur = b.current();
+            if b.advance() == cur {
+                // Saturated: every remaining wait is `cur`.
+                let rest = (cur.as_nanos() as u128).saturating_mul(left as u128);
+                let rest = SimDuration::from_nanos(u64::try_from(rest).unwrap_or(u64::MAX));
+                return total.saturating_add(rest);
+            }
+            total = total.saturating_add(cur);
+            left -= 1;
         }
         total
     }
@@ -128,5 +155,113 @@ mod tests {
         b.reset();
         assert_eq!(b.current(), SimDuration::from_millis(500));
         assert_eq!(b.steps(), 0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_the_cap() {
+        // Regression: once the cap is reached, further advances must
+        // return exactly the cap (no f64 round-trip wobble).
+        let cap = SimDuration::from_nanos(63_999_999_999);
+        let mut b = ExponentialBackoff::new(SimDuration::from_millis(500), 2.0, cap);
+        for _ in 0..10 {
+            b.advance();
+        }
+        assert_eq!(b.current(), cap);
+        for _ in 0..100 {
+            assert_eq!(b.advance(), cap);
+        }
+        assert_eq!(b.steps(), 110);
+    }
+
+    #[test]
+    fn initial_above_cap_is_clamped() {
+        let b =
+            ExponentialBackoff::new(SimDuration::from_secs(100), 2.0, SimDuration::from_secs(64));
+        assert_eq!(b.current(), SimDuration::from_secs(64));
+    }
+
+    #[test]
+    fn total_after_does_not_overflow_for_large_n() {
+        // Regression: the per-attempt loop summed u64 nanoseconds without
+        // saturation — u32::MAX attempts at a 64 s cap overflowed (and
+        // walked the loop four billion times).
+        let total = ExponentialBackoff::total_after(
+            SimDuration::from_millis(500),
+            2.0,
+            SimDuration::from_secs(64),
+            u32::MAX,
+        );
+        assert_eq!(total, SimDuration::MAX);
+    }
+
+    #[test]
+    fn total_after_handles_factor_one() {
+        // factor == 1 never reaches the cap; the closed form must still
+        // terminate and sum n identical waits.
+        let total = ExponentialBackoff::total_after(
+            SimDuration::from_millis(250),
+            1.0,
+            SimDuration::from_secs(64),
+            8,
+        );
+        assert_eq!(total, SimDuration::from_secs(2));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn advance_is_monotone_and_capped(
+            initial_ms in 1u64..10_000,
+            factor in 1.0f64..4.0,
+            cap_ms in 1u64..100_000,
+            steps in 1usize..64,
+        ) {
+            let cap = SimDuration::from_millis(cap_ms);
+            let mut b = ExponentialBackoff::new(SimDuration::from_millis(initial_ms), factor, cap);
+            let mut prev = b.current();
+            proptest::prop_assert!(prev <= cap);
+            for _ in 0..steps {
+                let next = b.advance();
+                proptest::prop_assert!(next >= prev, "backoff walked backwards: {prev} -> {next}");
+                proptest::prop_assert!(next <= cap);
+                prev = next;
+            }
+        }
+
+        #[test]
+        fn total_after_matches_reference_loop(
+            initial_ms in 1u64..5_000,
+            factor in 1.0f64..3.0,
+            cap_ms in 1u64..60_000,
+            n in 0u32..40,
+        ) {
+            let initial = SimDuration::from_millis(initial_ms);
+            let cap = SimDuration::from_millis(cap_ms);
+            let mut b = ExponentialBackoff::new(initial, factor, cap);
+            let mut reference = SimDuration::ZERO;
+            for _ in 0..n {
+                reference = reference.saturating_add(b.current());
+                b.advance();
+            }
+            proptest::prop_assert_eq!(
+                ExponentialBackoff::total_after(initial, factor, cap, n),
+                reference
+            );
+        }
+
+        #[test]
+        fn total_after_is_monotone_in_n(
+            initial_ms in 1u64..5_000,
+            factor in 1.0f64..3.0,
+            cap_ms in 1u64..60_000,
+            n in 0u32..100,
+        ) {
+            let initial = SimDuration::from_millis(initial_ms);
+            let cap = SimDuration::from_millis(cap_ms);
+            let a = ExponentialBackoff::total_after(initial, factor, cap, n);
+            let b = ExponentialBackoff::total_after(initial, factor, cap, n + 1);
+            proptest::prop_assert!(b >= a);
+        }
     }
 }

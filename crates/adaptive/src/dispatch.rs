@@ -118,13 +118,23 @@ impl Dispatcher {
     }
 
     /// The guarded code path executed: slide a watchdog's deadline.
+    ///
+    /// Returns `false` (without sliding) when the pat lands at or after
+    /// the current deadline: the fire is already due, and deferring it
+    /// here would make the same instant double-fire or never-fire
+    /// depending on whether `advance_to` ran first. The due fire is
+    /// delivered by [`Dispatcher::advance_to`], which restarts the window
+    /// from the fire instant.
     pub fn pat(&mut self, id: IntentId, now: SimInstant) -> bool {
         match self.intents.get_mut(&id) {
             Some(r) => match r.intent {
-                Intent::Watchdog { window } => {
-                    r.watchdog_deadline = Some(now + window);
-                    true
-                }
+                Intent::Watchdog { window } => match r.watchdog_deadline {
+                    Some(deadline) if now >= deadline => false,
+                    _ => {
+                        r.watchdog_deadline = Some(now + window);
+                        true
+                    }
+                },
                 _ => false,
             },
             None => false,
@@ -309,6 +319,45 @@ mod tests {
         let fired = d.advance_to(at(800));
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].at, at(700));
+    }
+
+    #[test]
+    fn pat_exactly_at_deadline_does_not_swallow_the_fire() {
+        // Regression: a pat at the deadline instant used to slide the
+        // window, so pat-then-advance never fired while advance-then-pat
+        // fired *and* slid — the two orders disagreed. Now the pat is
+        // refused and both orders deliver exactly one fire at 300 ms.
+        let window = SimDuration::from_millis(300);
+        // Order 1: pat first, then advance.
+        let mut d1 = Dispatcher::new();
+        let id1 = d1.register(at(0), Intent::Watchdog { window });
+        assert!(!d1.pat(id1, at(300)), "pat at the deadline must be late");
+        let fired = d1.advance_to(at(300));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].at, at(300));
+        // Order 2: advance first, then pat.
+        let mut d2 = Dispatcher::new();
+        let id2 = d2.register(at(0), Intent::Watchdog { window });
+        let fired = d2.advance_to(at(300));
+        assert_eq!(fired.len(), 1);
+        // The fire restarted the window from 300; a pat at the same
+        // instant now lands against the *new* deadline (600) and slides
+        // it — identical end state to order 1 plus the same single fire.
+        assert!(d2.pat(id2, at(300)));
+        assert_eq!(d1.deliveries, d2.deliveries);
+    }
+
+    #[test]
+    fn poll_at_fire_instant_delivers_exactly_once() {
+        let mut d = Dispatcher::new();
+        d.register(at(0), Intent::Timeout { deadline: at(250) });
+        // Polling exactly at the fire instant delivers the timeout…
+        let fired = d.advance_to(at(250));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].at, at(250));
+        // …and polling the same instant again delivers nothing.
+        assert!(d.advance_to(at(250)).is_empty());
+        assert_eq!(d.deliveries, 1);
     }
 
     #[test]

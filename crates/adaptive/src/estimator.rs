@@ -37,6 +37,8 @@ pub struct AdaptiveTimeout {
     backoff_factor: f64,
     /// Total level-shift resets performed.
     resets: u64,
+    /// Samples required before the learned estimate replaces `initial`.
+    warmup: u64,
 }
 
 impl AdaptiveTimeout {
@@ -58,7 +60,16 @@ impl AdaptiveTimeout {
             shift_threshold: 3,
             backoff_factor: 1.0,
             resets: 0,
+            warmup: 1,
         }
+    }
+
+    /// Requires `warmup` samples before the learned estimate replaces the
+    /// initial constant (the default of 1 keeps the historical "switch on
+    /// first sample" behaviour).
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup.max(1);
+        self
     }
 
     /// Overrides the safety multiplier applied to the learned quantile.
@@ -87,6 +98,12 @@ impl AdaptiveTimeout {
     /// Number of completed-wait samples learned.
     pub fn samples(&self) -> u64 {
         self.quantile.count()
+    }
+
+    /// Whether enough samples have arrived for the learned estimate to
+    /// replace the initial constant.
+    pub fn is_warm(&self) -> bool {
+        self.samples() >= self.warmup
     }
 
     /// Records a successful wait that completed after `waited`.
@@ -118,7 +135,7 @@ impl AdaptiveTimeout {
     /// The current timeout: `quantile(confidence) × safety × backoff`,
     /// clamped, or the initial constant before any samples.
     pub fn timeout(&self) -> SimDuration {
-        if self.samples() == 0 {
+        if self.samples() < self.warmup {
             return self.initial.mul_f64(self.backoff_factor).min(self.ceiling);
         }
         let learned = SimDuration::from_secs_f64(

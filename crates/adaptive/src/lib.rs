@@ -33,6 +33,7 @@ pub mod backoff;
 pub mod deps;
 pub mod dispatch;
 pub mod estimator;
+pub mod policy;
 pub mod quantile;
 pub mod rtt;
 pub mod timespec;
@@ -41,6 +42,7 @@ pub mod usecase;
 pub use backoff::ExponentialBackoff;
 pub use dispatch::{Dispatch, Dispatcher, Intent, IntentId};
 pub use estimator::AdaptiveTimeout;
+pub use policy::AdaptivePolicy;
 pub use quantile::P2Quantile;
 pub use rtt::RttEstimator;
 pub use timespec::{Coalescer, TimeSpec};

@@ -94,10 +94,17 @@ impl P2Quantile {
             {
                 let s = d.signum();
                 let qp = self.parabolic(i, s);
-                if self.q[i - 1] < qp && qp < self.q[i + 1] {
-                    self.q[i] = qp;
+                // Duplicate observations can collapse marker heights; a
+                // parabolic step over a degenerate gap must be rejected in
+                // favour of the (guarded) linear step, and a non-finite
+                // result must never be stored.
+                let next = if qp.is_finite() && self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
                 } else {
-                    self.q[i] = self.linear(i, s);
+                    self.linear(i, s)
+                };
+                if next.is_finite() {
+                    self.q[i] = next;
                 }
                 self.n[i] += s;
             }
@@ -107,6 +114,12 @@ impl P2Quantile {
     fn parabolic(&self, i: usize, s: f64) -> f64 {
         let q = &self.q;
         let n = &self.n;
+        // The adjustment guard only constrains the marker gap in the move
+        // direction; the opposite-side gap can reach zero when positions
+        // collide, which would divide by zero below.
+        if n[i + 1] - n[i] < 1.0 || n[i] - n[i - 1] < 1.0 {
+            return f64::NAN;
+        }
         q[i] + s / (n[i + 1] - n[i - 1])
             * ((n[i] - n[i - 1] + s) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
                 + (n[i + 1] - n[i] - s) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
@@ -114,21 +127,31 @@ impl P2Quantile {
 
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = (i as f64 + s) as usize;
-        self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+        let gap = self.n[j] - self.n[i];
+        if gap.abs() < 1.0 {
+            // Collided marker positions: no room to move the height.
+            return self.q[i];
+        }
+        self.q[i] + s * (self.q[j] - self.q[i]) / gap
     }
 
     /// The current quantile estimate.
     ///
     /// Before five observations, falls back to the max seen (conservative
-    /// for timeout use).
+    /// for timeout use); zero when nothing has been observed.
     pub fn estimate(&self) -> f64 {
         if self.init.len() < 5 {
+            // NB: the max must be reported even when every sample is
+            // negative — clamping to zero here would report a value that
+            // was never observed.
             return self
                 .init
                 .iter()
                 .copied()
-                .fold(f64::NEG_INFINITY, f64::max)
-                .max(0.0);
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |m| m.max(x)))
+                })
+                .unwrap_or(0.0);
         }
         self.q[2]
     }
@@ -184,6 +207,69 @@ mod tests {
     }
 
     #[test]
+    fn few_negative_samples_report_their_max() {
+        // Regression: the under-5-samples fallback clamped the max to
+        // zero, reporting an estimate that was never observed.
+        let mut est = P2Quantile::new(0.9);
+        est.observe(-5.0);
+        est.observe(-2.0);
+        assert_eq!(est.estimate(), -2.0);
+        let mut single = P2Quantile::new(0.5);
+        single.observe(-0.25);
+        assert_eq!(single.estimate(), -0.25);
+    }
+
+    #[test]
+    fn no_samples_estimate_is_zero() {
+        assert_eq!(P2Quantile::new(0.5).estimate(), 0.0);
+    }
+
+    #[test]
+    fn constant_stream_estimates_the_constant_exactly() {
+        // Regression: duplicate observations collapse marker heights; the
+        // estimate must stay exactly at the constant and never go NaN.
+        let mut est = P2Quantile::new(0.75);
+        for _ in 0..10_000 {
+            est.observe(4.25);
+        }
+        assert_eq!(est.estimate(), 4.25);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream_stays_finite_and_in_range() {
+        // Regression: long runs of duplicates drive marker positions
+        // toward each other; the parabolic update must never divide by a
+        // zero marker gap (previously possible on the unguarded side).
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(p);
+            for i in 0..5_000u64 {
+                // 90 % duplicates of two values, 10 % spread.
+                let x = match i % 10 {
+                    0 => i as f64 / 100.0,
+                    1..=5 => 1.0,
+                    _ => 2.0,
+                };
+                est.observe(x);
+                let e = est.estimate();
+                assert!(e.is_finite(), "estimate went non-finite at i={i} p={p}");
+                assert!((0.0..=50.0).contains(&e), "estimate {e} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn two_value_stream_estimate_is_exact_at_extremes() {
+        // With only the values {1, 2} observed, any quantile estimate
+        // must lie inside [1, 2].
+        let mut est = P2Quantile::new(0.5);
+        for i in 0..1_000 {
+            est.observe(if i % 2 == 0 { 1.0 } else { 2.0 });
+        }
+        let e = est.estimate();
+        assert!((1.0..=2.0).contains(&e), "{e}");
+    }
+
+    #[test]
     fn reset_clears_state() {
         let mut est = P2Quantile::new(0.5);
         for i in 0..100 {
@@ -200,7 +286,7 @@ mod tests {
 
         #[test]
         fn estimate_within_observed_range(
-            xs in proptest::collection::vec(0.0f64..1e6, 5..500),
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..500),
             p in 0.05f64..0.95,
         ) {
             let mut est = P2Quantile::new(p);

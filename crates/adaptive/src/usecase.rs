@@ -142,8 +142,13 @@ impl TimeoutGuard {
     }
 
     /// Whether the scope has overrun its deadline by `now`.
+    ///
+    /// The deadline instant itself counts as expired — every timer in
+    /// this crate fires *at* its deadline (see [`Watchdog::expired`],
+    /// [`DelayTimer::poll`] and `Dispatcher::advance_to`, which share the
+    /// same inclusive boundary).
     pub fn expired(&self, now: SimInstant) -> bool {
-        now > self.deadline
+        now >= self.deadline
     }
 }
 
@@ -176,12 +181,30 @@ impl Watchdog {
     }
 
     /// The code path executed: defer the deadline.
-    pub fn pat(&mut self, now: SimInstant) {
+    ///
+    /// Returns `true` if the pat landed in time. A pat arriving exactly
+    /// at (or after) the deadline is too late — the watchdog has already
+    /// fired, and silently sliding the deadline would swallow that fire
+    /// (the caller must observe the expiry and [`Watchdog::restart`] the
+    /// window instead).
+    pub fn pat(&mut self, now: SimInstant) -> bool {
+        if self.expired(now) {
+            return false;
+        }
         self.deadline = now + self.timeout;
         self.pats += 1;
+        true
+    }
+
+    /// Acknowledges a fired watchdog and restarts its window at `now`.
+    pub fn restart(&mut self, now: SimInstant) {
+        self.deadline = now + self.timeout;
     }
 
     /// Returns `true` if the watchdog has fired by `now`.
+    ///
+    /// Inclusive at the boundary: the watchdog fires *at* its deadline,
+    /// matching [`TimeoutGuard::expired`] and `Dispatcher::advance_to`.
     pub fn expired(&self, now: SimInstant) -> bool {
         now >= self.deadline
     }
@@ -322,5 +345,46 @@ mod tests {
         assert!(!d.poll(at(99)));
         assert!(d.poll(at(100)));
         assert!(!d.poll(at(200)));
+    }
+
+    #[test]
+    fn guard_expires_exactly_at_its_deadline() {
+        // Regression: TimeoutGuard used an exclusive boundary while
+        // Watchdog/DelayTimer fired inclusively — a guard polled exactly
+        // at its deadline reported "still alive" even though the same
+        // deadline in the dispatcher had already fired.
+        let reg = guard_registry();
+        let g = TimeoutGuard::arm(&reg, at(0), SimDuration::from_secs(1));
+        assert!(!g.expired(at(999)));
+        assert!(g.expired(at(1000)));
+    }
+
+    #[test]
+    fn pat_at_deadline_is_too_late() {
+        // Regression: a pat landing exactly at the deadline used to slide
+        // the window, so the fire due at that instant was never observed.
+        let mut w = Watchdog::new(at(0), SimDuration::from_millis(500));
+        assert!(w.pat(at(499)), "pat before the deadline must land");
+        // Deadline is now 999; pat exactly there must be refused.
+        assert!(!w.pat(at(999)));
+        assert!(w.expired(at(999)));
+        assert_eq!(w.pats(), 1);
+        // Acknowledge and restart: the window runs again.
+        w.restart(at(999));
+        assert!(!w.expired(at(1400)));
+        assert!(w.expired(at(1499)));
+    }
+
+    #[test]
+    fn watchdog_and_guard_agree_at_the_boundary() {
+        let reg = guard_registry();
+        let g = TimeoutGuard::arm(&reg, at(0), SimDuration::from_millis(250));
+        let w = Watchdog::new(at(0), SimDuration::from_millis(250));
+        let mut d = DelayTimer::new(at(0), SimDuration::from_millis(250));
+        for ms in [249u64, 250, 251] {
+            assert_eq!(g.expired(at(ms)), w.expired(at(ms)), "at {ms}");
+        }
+        assert!(!d.poll(at(249)));
+        assert!(d.poll(at(250)) && w.expired(at(250)) && g.expired(at(250)));
     }
 }

@@ -64,6 +64,21 @@
 //! partition busy/idle) differ. Composes with `--faults`, `--shards`
 //! and a single `--wheel-backend`; incompatible with `--serial`,
 //! `--collected` and `--wheel-backend=all`.
+//!
+//! `--adaptive[=off|fixed|learned]` selects the workload-timeout policy
+//! (the paper's §5 "timeouts should be learned"). `fixed` keeps every
+//! historical constant with the adaptive plumbing live — its output is
+//! byte-identical to the default run's, the plumbing-is-inert guarantee
+//! CI `cmp`s. `learned` (what the bare flag means) runs every experiment
+//! *twice* on the same seeded trace — historical constants vs learned
+//! timeouts — and appends three counterfactual figures: spurious timer
+//! expirations avoided per origin (riding the attribution plane), the
+//! dynticks sleep-residency histogram (the energy proxy), and
+//! retransmit-latency deltas (most visible under `--faults`). Composes
+//! with `--faults`, `--shards`, `--des-threads` and `--wheel-backend`
+//! (including `all`, which then asserts the counterfactual figures
+//! byte-identical across every backend too); incompatible with
+//! `--serial` and `--collected` (it runs on the cached parallel path).
 
 use timerstudy::experiment::repro_duration;
 use timerstudy::{Backend, FaultSpec};
@@ -125,6 +140,26 @@ fn des_threads(args: &[String]) -> Option<u16> {
             std::process::exit(2);
         }
     }
+}
+
+/// Parses `--adaptive` / `--adaptive=off|fixed|learned` (bare flag means
+/// `learned` — "run the counterfactual").
+fn adaptive_policy(args: &[String]) -> adaptive::AdaptivePolicy {
+    let mut policy = adaptive::AdaptivePolicy::Off;
+    for arg in args {
+        if arg == "--adaptive" {
+            policy = adaptive::AdaptivePolicy::Learned;
+        } else if let Some(v) = arg.strip_prefix("--adaptive=") {
+            match adaptive::AdaptivePolicy::parse(v) {
+                Some(p) => policy = p,
+                None => {
+                    eprintln!("--adaptive {v}: expected off, fixed, or learned");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    policy
 }
 
 /// Parses `--shards N` / `--shards=N`.
@@ -331,6 +366,11 @@ fn main() {
         eprintln!("--wheel-backend runs on the cached parallel path; it cannot be combined with --serial, --collected, or --faults");
         std::process::exit(2);
     }
+    let policy = adaptive_policy(&args);
+    if policy.is_active() && (serial || collected) {
+        eprintln!("--adaptive runs on the cached parallel path; it cannot be combined with --serial or --collected");
+        std::process::exit(2);
+    }
     let des = des_threads(&args);
     if des.is_some() && (serial || collected) {
         eprintln!("--des-threads runs on the cached parallel path; it cannot be combined with --serial or --collected");
@@ -364,7 +404,7 @@ fn main() {
         timerstudy::parallel::default_threads(9)
     };
     eprintln!(
-        "running all experiments at {} simulated seconds per trace ({}, faults: {})...",
+        "running all experiments at {} simulated seconds per trace ({}, faults: {}, adaptive: {})...",
         duration.as_secs(),
         if collected {
             "collected oracle path".to_owned()
@@ -376,17 +416,19 @@ fn main() {
             format!("parallel, up to {threads} threads")
         },
         faults.label(),
+        policy.label(),
     );
     let started = std::time::Instant::now();
     // Per-backend summary lines, printed with the run summary.
     let mut backend_summaries: Vec<String> = Vec::new();
     let (mode, (results, artifacts)) = if let Some(n) = des {
-        let run = timerstudy::figures::reproduce_all_configured_with_results(
+        let run = timerstudy::figures::reproduce_all_adaptive_with_results(
             duration,
             SEED,
             faults,
             des_backend,
             n,
+            policy,
         );
         if backend != BackendMode::Default {
             backend_summaries.push(format!(
@@ -399,7 +441,14 @@ fn main() {
     } else if !faults.is_none() {
         (
             "faulted",
-            timerstudy::figures::reproduce_all_faulted_with_results(duration, SEED, faults),
+            timerstudy::figures::reproduce_all_adaptive_with_results(
+                duration,
+                SEED,
+                faults,
+                Backend::Native,
+                0,
+                policy,
+            ),
         )
     } else if collected {
         (
@@ -414,12 +463,29 @@ fn main() {
     } else {
         match backend {
             BackendMode::Default => (
-                "parallel",
-                timerstudy::figures::reproduce_all_with_results(duration, SEED),
+                if policy.is_learned() {
+                    "adaptive"
+                } else {
+                    "parallel"
+                },
+                timerstudy::figures::reproduce_all_adaptive_with_results(
+                    duration,
+                    SEED,
+                    FaultSpec::none(),
+                    Backend::Native,
+                    0,
+                    policy,
+                ),
             ),
             BackendMode::One(b) => {
-                let run =
-                    timerstudy::figures::reproduce_all_backend_with_results(duration, SEED, b);
+                let run = timerstudy::figures::reproduce_all_adaptive_with_results(
+                    duration,
+                    SEED,
+                    FaultSpec::none(),
+                    b,
+                    0,
+                    policy,
+                );
                 backend_summaries.push(format!(
                     "backend {}: {}",
                     b.label(),
@@ -431,7 +497,9 @@ fn main() {
                 // The matrix: native first (its artifacts are the run's
                 // stdout and the comparison baseline), then every forced
                 // backend — flat and sharded — each asserted
-                // byte-identical.
+                // byte-identical. Under `--adaptive` the per-backend
+                // artifact lists include the counterfactual figures, so
+                // the assertion covers those too.
                 let mut all_results = Vec::new();
                 let mut baseline: Option<Vec<timerstudy::figures::Artifact>> = None;
                 for b in std::iter::once(Backend::Native)
@@ -439,7 +507,14 @@ fn main() {
                     .chain(Backend::SHARDED_MATRIX)
                 {
                     let (results, artifacts) =
-                        timerstudy::figures::reproduce_all_backend_with_results(duration, SEED, b);
+                        timerstudy::figures::reproduce_all_adaptive_with_results(
+                            duration,
+                            SEED,
+                            FaultSpec::none(),
+                            b,
+                            0,
+                            policy,
+                        );
                     backend_summaries.push(format!(
                         "backend {}: {}",
                         b.label(),

@@ -59,6 +59,12 @@ pub struct ExperimentSpec {
     /// `tests/pdes_determinism.rs`); the knob is still part of the cache
     /// key so the differential tests exercise real runs, not replays.
     pub des_threads: u16,
+    /// Workload-timeout policy: `Off`/`Fixed` keep every historical
+    /// constant (`Fixed` with the adaptive plumbing live but clamped —
+    /// byte-identical to `Off`); `Learned` drives the same timers from
+    /// the learned distributions of §5.1. Part of the cache key: a
+    /// learned run's report is a different experiment outcome.
+    pub adaptive: adaptive::AdaptivePolicy,
 }
 
 impl ExperimentSpec {
@@ -73,6 +79,7 @@ impl ExperimentSpec {
             faults: FaultSpec::none(),
             backend: wheel::Backend::Native,
             des_threads: 0,
+            adaptive: adaptive::AdaptivePolicy::Off,
         }
     }
 
@@ -103,6 +110,12 @@ impl ExperimentSpec {
     /// (`0` restores the serial pipeline).
     pub const fn with_des_threads(mut self, threads: u16) -> Self {
         self.des_threads = threads;
+        self
+    }
+
+    /// The same experiment under the given workload-timeout policy.
+    pub const fn with_adaptive(mut self, policy: adaptive::AdaptivePolicy) -> Self {
+        self.adaptive = policy;
         self
     }
 
@@ -210,21 +223,23 @@ impl FinishedKernel {
         let _workload_span = telemetry::span("stage.workload");
         let net = spec.faults.net;
         match spec.os {
-            Os::Linux => FinishedKernel::Linux(Box::new(workloads::run_linux_backend(
+            Os::Linux => FinishedKernel::Linux(Box::new(workloads::run_linux_configured(
                 spec.workload,
                 spec.seed,
                 spec.duration,
                 sink,
                 net,
                 spec.backend,
+                spec.adaptive,
             ))),
-            Os::Vista => FinishedKernel::Vista(Box::new(workloads::run_vista_backend(
+            Os::Vista => FinishedKernel::Vista(Box::new(workloads::run_vista_configured(
                 spec.workload,
                 spec.seed,
                 spec.duration,
                 sink,
                 net,
                 spec.backend,
+                spec.adaptive,
             ))),
         }
     }

@@ -280,6 +280,80 @@ pub fn paper_specs_configured(
         .collect()
 }
 
+/// [`paper_specs_configured`] with the adaptive timeout policy applied on
+/// top — the `repro_all --adaptive` spec set. The policy is part of the
+/// cache key like every other knob; `Fixed` specs cache separately from
+/// `Off` ones even though their results are byte-identical (that identity
+/// is an asserted property, not an aliasing shortcut).
+pub fn paper_specs_adaptive(
+    duration: simtime::SimDuration,
+    seed: u64,
+    faults: crate::FaultSpec,
+    backend: wheel::Backend,
+    des_threads: u16,
+    policy: adaptive::AdaptivePolicy,
+) -> Vec<ExperimentSpec> {
+    paper_specs_configured(duration, seed, faults, backend, des_threads)
+        .into_iter()
+        .map(|s| s.with_adaptive(policy))
+        .collect()
+}
+
+/// The full reproduction under one adaptive timeout policy, composed with
+/// every other knob (the `repro_all --adaptive` path).
+///
+/// `Off` and `Fixed` run the nine paper specs once and return the paper
+/// artifacts (byte-identical to each other — the differential guarantee).
+/// `Learned` runs each spec **twice** on the same seeded trace — once
+/// clamped to the historical constants, once learned — returning the
+/// fixed run's paper artifacts followed by the three counterfactual
+/// figures, with both runs' results concatenated (fixed first) so run
+/// reports carry both sides of the comparison.
+pub fn reproduce_all_adaptive_with_results(
+    duration: simtime::SimDuration,
+    seed: u64,
+    faults: crate::FaultSpec,
+    backend: wheel::Backend,
+    des_threads: u16,
+    policy: adaptive::AdaptivePolicy,
+) -> (Vec<ExperimentResult>, Vec<Artifact>) {
+    if !policy.is_learned() {
+        let results = crate::cache::global().run_all(&paper_specs_adaptive(
+            duration,
+            seed,
+            faults,
+            backend,
+            des_threads,
+            policy,
+        ));
+        let artifacts = assemble(&results);
+        return (results, artifacts);
+    }
+    let fixed = crate::cache::global().run_all(&paper_specs_adaptive(
+        duration,
+        seed,
+        faults,
+        backend,
+        des_threads,
+        adaptive::AdaptivePolicy::Fixed,
+    ));
+    let learned = crate::cache::global().run_all(&paper_specs_adaptive(
+        duration,
+        seed,
+        faults,
+        backend,
+        des_threads,
+        adaptive::AdaptivePolicy::Learned,
+    ));
+    let mut artifacts = assemble(&fixed);
+    artifacts.extend(crate::counterfactual::counterfactual_artifacts(
+        &fixed, &learned,
+    ));
+    let mut results = fixed;
+    results.extend(learned);
+    (results, artifacts)
+}
+
 /// [`paper_specs`] with a fault plane attached to every experiment
 /// (the `repro_all --faults` path).
 pub fn paper_specs_faulted(

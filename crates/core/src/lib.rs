@@ -28,6 +28,7 @@
 //! bit-identical to the clean path.
 
 pub mod cache;
+pub mod counterfactual;
 pub mod experiment;
 pub mod faults;
 pub mod figures;

@@ -33,6 +33,13 @@ pub fn spec_label(spec: &ExperimentSpec) -> String {
     if spec.des_threads != 0 {
         label.push_str(&format!(" des={}", spec.des_threads));
     }
+    // `Fixed` is the degenerate mode that must reproduce the default
+    // byte-identically — including this label — so only `Learned` runs
+    // are marked.
+    if spec.adaptive.is_learned() {
+        label.push_str(" adaptive=");
+        label.push_str(spec.adaptive.label());
+    }
     label
 }
 

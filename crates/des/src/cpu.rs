@@ -59,6 +59,15 @@ impl CpuMeter {
             at >= self.busy_until && (!self.started || at - self.busy_until >= self.doze_threshold);
         if was_idle {
             self.wakeups += 1;
+            if self.started {
+                // The unbroken sleep interval just ended; its length is the
+                // dynticks sleep-residency sample (paper §2.1's energy
+                // proxy: longer gaps allow deeper power states).
+                telemetry::sim::observe(
+                    telemetry::sim::SimHist::CpuIdleGapMicros,
+                    (at - self.busy_until).as_micros(),
+                );
+            }
             let sec = at.as_nanos() / 1_000_000_000;
             if self.wakeups_per_sec.len() <= sec as usize {
                 self.wakeups_per_sec.resize(sec as usize + 1, 0);

@@ -39,6 +39,10 @@ pub struct LinuxConfig {
     /// Timer-queue structure for the standard timer base; `Native` is the
     /// kernel's hierarchical cascading wheel.
     pub backend: wheel::Backend,
+    /// Whether workload timeouts (initial RTO, SYN retransmit, mass-table
+    /// watchdog/RTO) keep their historical constants or follow the learned
+    /// distributions of §5.1.
+    pub policy: adaptive::AdaptivePolicy,
 }
 
 impl LinuxConfig {
@@ -61,6 +65,7 @@ impl Default for LinuxConfig {
             call_cost: SimDuration::from_nanos(300),
             set_jitter_max: SimDuration::from_millis(2),
             backend: wheel::Backend::Native,
+            policy: adaptive::AdaptivePolicy::Off,
         }
     }
 }
@@ -130,6 +135,12 @@ pub struct LinuxKernel {
     console_blank: Option<TimerHandle>,
     /// Last processed jiffy (tick loop cursor).
     last_jiffy: Jiffies,
+    /// Learned distribution of connection round-trip times; seeds the
+    /// initial RTO / SYN-retransmit timeout when the policy is `Learned`.
+    pub(crate) rtt_prior: adaptive::AdaptiveTimeout,
+    /// Learned distribution of mass-table activity gaps; drives the
+    /// per-connection keepalive watchdog when the policy is `Learned`.
+    pub(crate) mass_gap: adaptive::AdaptiveTimeout,
 }
 
 impl std::fmt::Debug for LinuxKernel {
@@ -168,6 +179,23 @@ impl LinuxKernel {
             syscall_timers: SyscallTimers::default(),
             console_blank: None,
             last_jiffy: Jiffies::ZERO,
+            rtt_prior: adaptive::AdaptiveTimeout::new(0.99, crate::subsys::tcp::TCP_TIMEOUT_INIT)
+                .with_safety(2.0)
+                .with_bounds(
+                    crate::subsys::tcp::RTO_MIN,
+                    crate::subsys::tcp::TCP_TIMEOUT_INIT,
+                )
+                .with_warmup(8),
+            mass_gap: adaptive::AdaptiveTimeout::new(
+                0.999,
+                crate::subsys::mass::MASS_WATCHDOG_TIMEOUT,
+            )
+            .with_safety(2.0)
+            .with_bounds(
+                SimDuration::from_secs(1),
+                crate::subsys::mass::MASS_WATCHDOG_TIMEOUT,
+            )
+            .with_warmup(64),
         };
         kernel.boot_housekeeping();
         kernel
@@ -572,6 +600,25 @@ impl LinuxKernel {
     /// Charges one timer API call to the CPU.
     pub(crate) fn charge_call(&mut self, at: SimInstant) {
         self.cpu.on_work(at, self.cfg.call_cost);
+    }
+
+    /// Resolves one timeout decision under the configured policy: the
+    /// historical constant, unless the policy is `Learned` and the
+    /// estimator has warmed up, in which case the learned value (clamped
+    /// between the estimator floor and the constant) replaces it. Decided
+    /// purely from workload-level samples, so the choice is identical
+    /// across wheel backends and shard counts.
+    pub(crate) fn decide_timeout(
+        policy: adaptive::AdaptivePolicy,
+        est: &adaptive::AdaptiveTimeout,
+        fixed: SimDuration,
+    ) -> SimDuration {
+        if policy.is_learned() && est.is_warm() {
+            telemetry::sim::add(telemetry::SimCounter::AdaptiveLearnedArms, 1);
+            est.timeout().min(fixed)
+        } else {
+            fixed
+        }
     }
 
     /// Console activity defers the blank watchdog (the *watchdog* pattern:

@@ -16,7 +16,7 @@
 //! fidelity. Connections carry a simulated arming CPU so re-arms from a
 //! rotated CPU exercise cross-base migration deterministically (no RNG).
 
-use simtime::SimDuration;
+use simtime::{SimDuration, SimInstant};
 use trace::{EventFlags, Pid, Space};
 
 use crate::ids::MassId;
@@ -42,6 +42,15 @@ struct MassEntry {
     /// Consecutive RTO backoffs since the last ACK.
     backoff: u8,
     open: bool,
+    /// Duration the currently armed retransmit timer was set for.
+    rto_armed: SimDuration,
+    /// Base the exponential backoff doubles from (the historical 3 s, or
+    /// the learned RTT tail when the policy is `Learned`).
+    rto_base: SimDuration,
+    /// Last activity instant, for learning the keepalive gap distribution.
+    last_activity: SimInstant,
+    /// Last transmit instant, for deriving ACK round-trip samples.
+    last_transmit: SimInstant,
 }
 
 /// The mass-connection slab with free-list timer reuse.
@@ -111,14 +120,26 @@ impl LinuxKernel {
                     rto,
                     backoff: 0,
                     open: false,
+                    rto_armed: TCP_TIMEOUT_INIT,
+                    rto_base: TCP_TIMEOUT_INIT,
+                    last_activity: self.now,
+                    last_transmit: self.now,
                 });
                 idx
             }
         };
         let id = MassId(idx);
+        let watchdog_timeout =
+            LinuxKernel::decide_timeout(self.cfg.policy, &self.mass_gap, MASS_WATCHDOG_TIMEOUT);
+        let rto_init =
+            LinuxKernel::decide_timeout(self.cfg.policy, &self.rtt_prior, TCP_TIMEOUT_INIT);
         let entry = &mut self.mass.entries[idx as usize];
         entry.backoff = 0;
         entry.open = true;
+        entry.rto_armed = rto_init;
+        entry.rto_base = rto_init;
+        entry.last_activity = self.now;
+        entry.last_transmit = self.now;
         let (watchdog, rto) = (entry.watchdog, entry.rto);
         self.mass.open += 1;
         self.mass.opened_total += 1;
@@ -127,7 +148,7 @@ impl LinuxKernel {
             &mut self.log,
             self.now,
             watchdog,
-            MASS_WATCHDOG_TIMEOUT,
+            watchdog_timeout,
             SimDuration::ZERO,
             EventFlags::default(),
         );
@@ -136,7 +157,7 @@ impl LinuxKernel {
             &mut self.log,
             self.now,
             rto,
-            TCP_TIMEOUT_INIT,
+            rto_init,
             jitter,
             EventFlags::default(),
         );
@@ -149,20 +170,28 @@ impl LinuxKernel {
     /// bases, exactly as `__mod_timer` re-homes onto the arming CPU's
     /// `tvec_base`.
     pub fn mass_activity(&mut self, id: MassId, cpu: u32) {
-        let Some(entry) = self.mass.entries.get(id.0 as usize) else {
+        let Some(entry) = self.mass.entries.get_mut(id.0 as usize) else {
             return;
         };
         if !entry.open {
             return;
         }
         let watchdog = entry.watchdog;
+        // The gap between consecutive activity bursts is exactly the
+        // distribution the keepalive watchdog should cover (§5.1): feed it
+        // in every mode, consult it only under `Learned`.
+        let gap = self.now - entry.last_activity;
+        entry.last_activity = self.now;
+        self.mass_gap.observe_success(gap);
+        let timeout =
+            LinuxKernel::decide_timeout(self.cfg.policy, &self.mass_gap, MASS_WATCHDOG_TIMEOUT);
         self.set_timer_cpu(Some(cpu));
         self.charge_call(self.now);
         self.base.mod_timer_in(
             &mut self.log,
             self.now,
             watchdog,
-            MASS_WATCHDOG_TIMEOUT,
+            timeout,
             SimDuration::ZERO,
             EventFlags::default(),
         );
@@ -172,16 +201,32 @@ impl LinuxKernel {
     /// re-arm the retransmit timer far out from CPU `cpu` — pending (the
     /// connection still owns its two timers) but rarely expiring.
     pub fn mass_ack(&mut self, id: MassId, cpu: u32) {
-        self.mass_rearm_rto(id, cpu, MASS_RTO_IDLE);
+        // The transmit→ACK delay is a round-trip sample for the shared
+        // RTT prior (fed in every mode, like `tcp_ack_received`).
+        if let Some(entry) = self.mass.entries.get(id.0 as usize) {
+            if entry.open {
+                let rtt = self.now - entry.last_transmit;
+                self.rtt_prior.observe_success(rtt);
+            }
+        }
+        let base = LinuxKernel::decide_timeout(self.cfg.policy, &self.rtt_prior, TCP_TIMEOUT_INIT);
+        self.mass_rearm_rto(id, cpu, MASS_RTO_IDLE, base);
     }
 
     /// Data went out (and its ACK will be lost): the retransmit timer
     /// arms at the initial timeout from CPU `cpu` and will actually fire.
     pub fn mass_transmit(&mut self, id: MassId, cpu: u32) {
-        self.mass_rearm_rto(id, cpu, TCP_TIMEOUT_INIT);
+        if let Some(entry) = self.mass.entries.get_mut(id.0 as usize) {
+            entry.last_transmit = self.now;
+        }
+        let init = LinuxKernel::decide_timeout(self.cfg.policy, &self.rtt_prior, TCP_TIMEOUT_INIT);
+        self.mass_rearm_rto(id, cpu, init, init);
     }
 
-    fn mass_rearm_rto(&mut self, id: MassId, cpu: u32, timeout: SimDuration) {
+    /// Re-arms the retransmit timer at `timeout`; `base` is what the
+    /// exponential backoff doubles from — the *initial* RTO decision,
+    /// never the idle-probe interval, matching the fixed `3 s << n`.
+    fn mass_rearm_rto(&mut self, id: MassId, cpu: u32, timeout: SimDuration, base: SimDuration) {
         let Some(entry) = self.mass.entries.get_mut(id.0 as usize) else {
             return;
         };
@@ -189,6 +234,8 @@ impl LinuxKernel {
             return;
         }
         entry.backoff = 0;
+        entry.rto_armed = timeout;
+        entry.rto_base = base;
         let rto = entry.rto;
         self.set_timer_cpu(Some(cpu));
         self.charge_call(self.now);
@@ -253,6 +300,13 @@ impl LinuxKernel {
         if !entry.open {
             return;
         }
+        // Recovery-latency accounting for the fixed-vs-adaptive figures:
+        // this expiry waited exactly the armed duration.
+        telemetry::sim::add(telemetry::SimCounter::AdaptiveRtoExpirations, 1);
+        telemetry::sim::add(
+            telemetry::SimCounter::AdaptiveRtoWaitNs,
+            entry.rto_armed.as_nanos(),
+        );
         if entry.backoff >= MASS_RTO_RETRIES {
             entry.open = false;
             let watchdog = entry.watchdog;
@@ -269,10 +323,12 @@ impl LinuxKernel {
         // Doubled timeout, capped at RTO_MAX; re-armed with no CPU context
         // (softirq context: the timer stays where its base fired it unless
         // the home hash says otherwise).
-        let nanos = TCP_TIMEOUT_INIT
+        let nanos = entry
+            .rto_base
             .as_nanos()
             .saturating_mul(1 << backoff.min(8))
             .min(RTO_MAX.as_nanos());
+        entry.rto_armed = SimDuration::from_nanos(nanos);
         self.charge_call(at);
         let jitter = self.sample_set_jitter();
         self.base.mod_timer_in(

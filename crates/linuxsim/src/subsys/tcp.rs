@@ -56,6 +56,11 @@ pub struct TcpConn {
     rto: SimDuration,
     /// Consecutive backoffs applied since the last good ACK.
     backoff: u32,
+    /// Initial SYN-retransmit timeout chosen at open (the historical 3 s,
+    /// or the learned RTT tail); each retry doubles from this base.
+    syn_init: SimDuration,
+    /// Duration the currently armed SYN-retransmit timer was set for.
+    syn_armed: SimDuration,
     syn_retries: u32,
     established: bool,
     keepalive_enabled: bool,
@@ -159,12 +164,18 @@ impl LinuxKernel {
             .alloc_timers(&mut self.base, &mut self.log, self.now);
         // Retarget the reused slots at this connection.
         self.retarget(timers, id);
+        // Under the learned policy a warm RTT prior replaces the blind 3 s
+        // initial timeout (§5.1: the first RTO should come from the
+        // learned distribution, not a round constant).
+        let init = LinuxKernel::decide_timeout(self.cfg.policy, &self.rtt_prior, TCP_TIMEOUT_INIT);
         let conn = TcpConn {
             timers,
             srtt: None,
             rttvar: 0.0,
-            rto: TCP_TIMEOUT_INIT,
+            rto: init,
             backoff: 0,
+            syn_init: init,
+            syn_armed: init,
             syn_retries: 0,
             established: false,
             keepalive_enabled: keepalive,
@@ -176,7 +187,7 @@ impl LinuxKernel {
             &mut self.log,
             self.now,
             timers.synretry,
-            TCP_TIMEOUT_INIT,
+            init,
             jitter,
             EventFlags::default(),
         );
@@ -255,6 +266,9 @@ impl LinuxKernel {
             return;
         };
         if let Some(rtt) = sample {
+            // Feed the kernel-wide RTT prior in every mode (a workload
+            // observation, not queue state, so it never perturbs replay).
+            self.rtt_prior.observe_success(rtt);
             let r = rtt.as_secs_f64();
             match conn.srtt {
                 None => {
@@ -330,6 +344,13 @@ impl LinuxKernel {
         let Some(conn) = self.tcp.conns.get_mut(&id) else {
             return;
         };
+        // Account the recovery latency this expiry paid (the armed wait)
+        // before backing off — the fixed-vs-adaptive figures compare this.
+        telemetry::sim::add(telemetry::SimCounter::AdaptiveRtoExpirations, 1);
+        telemetry::sim::add(
+            telemetry::SimCounter::AdaptiveRtoWaitNs,
+            conn.rto.as_nanos(),
+        );
         // Exponential backoff, capped at RTO_MAX.
         conn.backoff = (conn.backoff + 1).min(16);
         conn.rto = conn.rto.mul_f64(2.0).min(RTO_MAX);
@@ -377,13 +398,25 @@ impl LinuxKernel {
         let Some(conn) = self.tcp.conns.get_mut(&id) else {
             return;
         };
+        telemetry::sim::add(telemetry::SimCounter::AdaptiveRtoExpirations, 1);
+        telemetry::sim::add(
+            telemetry::SimCounter::AdaptiveRtoWaitNs,
+            conn.syn_armed.as_nanos(),
+        );
         conn.syn_retries += 1;
         if conn.syn_retries >= SYN_RETRIES {
             self.notifications
                 .push(Notify::TcpConnectFailed { conn: id });
             return;
         }
-        let backoff = SimDuration::from_secs(3 << conn.syn_retries.min(6));
+        // Double from the connection's initial SYN timeout. With the
+        // historical 3 s base this reproduces `3 << retries` exactly; a
+        // learned base backs off on the same schedule from its own start.
+        let shift = conn.syn_retries.min(6);
+        let backoff_ns = (conn.syn_init.as_nanos() as u128) << shift;
+        let backoff =
+            SimDuration::from_nanos(u64::try_from(backoff_ns).unwrap_or(u64::MAX)).min(RTO_MAX);
+        conn.syn_armed = backoff;
         let timers = conn.timers;
         let jitter = self.sample_set_jitter();
         self.base.mod_timer_in(

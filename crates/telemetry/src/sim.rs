@@ -58,12 +58,24 @@ pub enum SimCounter {
     /// issued from a different simulated CPU than the base the timer
     /// currently lives on).
     WheelBaseMigrations,
+    /// Retransmission-class timer expirations (TCP RTO, SYN retransmit,
+    /// mass-table RTO, Vista wheel retransmit) — the events whose waited
+    /// durations feed the fixed-vs-adaptive retransmit-latency figure.
+    AdaptiveRtoExpirations,
+    /// Total virtual nanoseconds those retransmission expirations spent
+    /// armed before firing (the recovery latency the paper's §2.2.2
+    /// backoff example pays). Recorded in every policy mode.
+    AdaptiveRtoWaitNs,
+    /// Timer arms whose value came from a warm learned estimator instead
+    /// of the historical constant — zero unless the adaptive policy is
+    /// `Learned`.
+    AdaptiveLearnedArms,
 }
 
 impl SimCounter {
     /// Every counter, in stable export order. New counters are appended so
     /// existing counters' indices stay stable.
-    pub const ALL: [SimCounter; 16] = [
+    pub const ALL: [SimCounter; 19] = [
         SimCounter::WheelSchedules,
         SimCounter::WheelCascadeMoves,
         SimCounter::WheelExpirations,
@@ -80,6 +92,9 @@ impl SimCounter {
         SimCounter::ClockPerturbations,
         SimCounter::SimTimeAdvancedNs,
         SimCounter::WheelBaseMigrations,
+        SimCounter::AdaptiveRtoExpirations,
+        SimCounter::AdaptiveRtoWaitNs,
+        SimCounter::AdaptiveLearnedArms,
     ];
 
     /// Stable metric name (Prometheus conventions).
@@ -101,6 +116,9 @@ impl SimCounter {
             SimCounter::ClockPerturbations => "clock_perturbations_total",
             SimCounter::SimTimeAdvancedNs => "sim_time_advanced_ns_total",
             SimCounter::WheelBaseMigrations => "wheel_base_migrations_total",
+            SimCounter::AdaptiveRtoExpirations => "adaptive_rto_expirations_total",
+            SimCounter::AdaptiveRtoWaitNs => "adaptive_rto_wait_ns_total",
+            SimCounter::AdaptiveLearnedArms => "adaptive_learned_arms_total",
         }
     }
 }
@@ -155,17 +173,27 @@ pub enum SimHist {
     WheelCascadeBatch,
     /// Sampled link round-trip times, in microseconds.
     NetRttMicros,
+    /// Idle intervals the simulated CPU slept between wakeups, in
+    /// microseconds — the dynticks sleep-residency distribution whose
+    /// upper buckets are the paper's energy proxy (longer unbroken sleep
+    /// = deeper power states).
+    CpuIdleGapMicros,
 }
 
 impl SimHist {
     /// Every histogram, in stable export order.
-    pub const ALL: [SimHist; 2] = [SimHist::WheelCascadeBatch, SimHist::NetRttMicros];
+    pub const ALL: [SimHist; 3] = [
+        SimHist::WheelCascadeBatch,
+        SimHist::NetRttMicros,
+        SimHist::CpuIdleGapMicros,
+    ];
 
     /// Stable metric name.
     pub const fn name(self) -> &'static str {
         match self {
             SimHist::WheelCascadeBatch => "wheel_cascade_batch_entries",
             SimHist::NetRttMicros => "net_rtt_us",
+            SimHist::CpuIdleGapMicros => "cpu_idle_gap_us",
         }
     }
 }

@@ -33,6 +33,9 @@ pub struct VistaConfig {
     /// Timer-queue structure for the KTIMER ring and the TCP wheel;
     /// `Native` keeps both on their historical hashed rings.
     pub backend: wheel::Backend,
+    /// Whether TCP wheel timeouts keep their historical constants or
+    /// follow the learned distributions of §5.1.
+    pub policy: adaptive::AdaptivePolicy,
 }
 
 /// How busy the kernel's own (driver/subsystem) timer population is.
@@ -62,6 +65,7 @@ impl Default for VistaConfig {
             call_cost: SimDuration::from_nanos(400),
             kernel_load: KernelLoadLevel::Idle,
             backend: wheel::Backend::Native,
+            policy: adaptive::AdaptivePolicy::Off,
         }
     }
 }
@@ -133,6 +137,9 @@ pub struct VistaKernel {
     resolution: SimDuration,
     /// The next clock-interrupt instant.
     next_interrupt: SimInstant,
+    /// Learned distribution of connection round-trip times; seeds the
+    /// initial RTO when the policy is `Learned`.
+    pub(crate) rtt_prior: adaptive::AdaptiveTimeout,
 }
 
 impl std::fmt::Debug for VistaKernel {
@@ -172,6 +179,10 @@ impl VistaKernel {
             kernel_load: KernelLoad::default(),
             resolution,
             next_interrupt: SimInstant::BOOT + resolution,
+            rtt_prior: adaptive::AdaptiveTimeout::new(0.99, crate::tcpip::INITIAL_RTO)
+                .with_safety(2.0)
+                .with_bounds(crate::tcpip::MIN_RTO, crate::tcpip::INITIAL_RTO)
+                .with_warmup(8),
         };
         kernel.boot_kernel_load();
         kernel

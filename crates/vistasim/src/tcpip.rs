@@ -133,6 +133,9 @@ impl VistaKernel {
         self.tcp_wheel_boot();
         let id = self.vtcp.next_conn;
         self.vtcp.next_conn += 1;
+        // Under the learned policy a warm RTT prior replaces the blind 3 s
+        // initial timeout, clamped to [MIN_RTO, INITIAL_RTO].
+        let init = Self::decide_timeout(self.cfg.policy, &self.rtt_prior, INITIAL_RTO);
         self.vtcp.conns.insert(
             id,
             VConn {
@@ -141,12 +144,28 @@ impl VistaKernel {
                 keepalive_id: 0,
                 srtt: None,
                 rttvar: 0.0,
-                rto: INITIAL_RTO,
+                rto: init,
             },
         );
         // The SYN retransmit entry goes into the wheel, not the ring.
-        self.vtcp_arm(id, EntryKind::Retransmit, INITIAL_RTO);
+        self.vtcp_arm(id, EntryKind::Retransmit, init);
         id
+    }
+
+    /// Resolves one timeout decision under the configured policy (mirrors
+    /// `linuxsim`'s helper): the historical constant unless the policy is
+    /// `Learned` and the estimator is warm.
+    pub(crate) fn decide_timeout(
+        policy: adaptive::AdaptivePolicy,
+        est: &adaptive::AdaptiveTimeout,
+        fixed: SimDuration,
+    ) -> SimDuration {
+        if policy.is_learned() && est.is_warm() {
+            telemetry::sim::add(telemetry::SimCounter::AdaptiveLearnedArms, 1);
+            est.timeout().min(fixed)
+        } else {
+            fixed
+        }
     }
 
     fn vtcp_arm(&mut self, conn: u32, kind: EntryKind, rel: SimDuration) {
@@ -211,6 +230,9 @@ impl VistaKernel {
             return;
         };
         if let Some(rtt) = sample {
+            // Feed the kernel-wide RTT prior in every mode (workload
+            // observation only — replay stays backend-invariant).
+            self.rtt_prior.observe_success(rtt);
             let r = rtt.as_secs_f64();
             match c.srtt {
                 None => {
@@ -269,6 +291,13 @@ impl VistaKernel {
                 EntryKind::Retransmit => {
                     if let Some(c) = self.vtcp.conns.get_mut(&conn) {
                         c.rto_id = 0;
+                        // The expiry waited the pre-backoff RTO; account it
+                        // for the fixed-vs-adaptive latency figures.
+                        telemetry::sim::add(telemetry::SimCounter::AdaptiveRtoExpirations, 1);
+                        telemetry::sim::add(
+                            telemetry::SimCounter::AdaptiveRtoWaitNs,
+                            c.rto.as_nanos(),
+                        );
                         c.rto = c.rto.mul_f64(2.0).min(SimDuration::from_secs(120));
                         let rto = c.rto;
                         self.vtcp_arm(conn, EntryKind::Retransmit, rto);

@@ -104,17 +104,42 @@ pub fn run_linux_backend(
     net: NetFault,
     backend: wheel::Backend,
 ) -> linuxsim::LinuxKernel {
+    run_linux_configured(
+        workload,
+        seed,
+        duration,
+        sink,
+        net,
+        backend,
+        adaptive::AdaptivePolicy::Off,
+    )
+}
+
+/// [`run_linux_backend`] with the workload-timeout policy selected:
+/// `Off`/`Fixed` keep every historical constant (and must replay
+/// byte-identically), `Learned` drives the same timers from the learned
+/// distributions of §5.1.
+#[allow(clippy::too_many_arguments)]
+pub fn run_linux_configured(
+    workload: Workload,
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+    backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
+) -> linuxsim::LinuxKernel {
     match workload {
-        Workload::Idle => linux::idle::run(seed, duration, sink, backend),
-        Workload::Firefox => linux::firefox::run(seed, duration, sink, net, backend),
-        Workload::Skype => linux::skype::run(seed, duration, sink, net, backend),
-        Workload::Webserver => linux::webserver::run(seed, duration, sink, net, backend),
+        Workload::Idle => linux::idle::run(seed, duration, sink, backend, policy),
+        Workload::Firefox => linux::firefox::run(seed, duration, sink, net, backend, policy),
+        Workload::Skype => linux::skype::run(seed, duration, sink, net, backend, policy),
+        Workload::Webserver => linux::webserver::run(seed, duration, sink, net, backend, policy),
         Workload::Outlook => {
             // Figure 1 is a Vista-only measurement; on Linux it degrades
             // to the idle desktop.
-            linux::idle::run(seed, duration, sink, backend)
+            linux::idle::run(seed, duration, sink, backend, policy)
         }
-        Workload::ApacheScale => linux::apache::run(seed, duration, sink, net, backend),
+        Workload::ApacheScale => linux::apache::run(seed, duration, sink, net, backend, policy),
     }
 }
 
@@ -151,16 +176,38 @@ pub fn run_vista_backend(
     net: NetFault,
     backend: wheel::Backend,
 ) -> vistasim::VistaKernel {
+    run_vista_configured(
+        workload,
+        seed,
+        duration,
+        sink,
+        net,
+        backend,
+        adaptive::AdaptivePolicy::Off,
+    )
+}
+
+/// [`run_vista_backend`] with the workload-timeout policy selected.
+#[allow(clippy::too_many_arguments)]
+pub fn run_vista_configured(
+    workload: Workload,
+    seed: u64,
+    duration: SimDuration,
+    sink: Box<dyn TraceSink>,
+    net: NetFault,
+    backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
+) -> vistasim::VistaKernel {
     match workload {
-        Workload::Idle => vista::idle::run(seed, duration, sink, backend),
-        Workload::Firefox => vista::firefox::run(seed, duration, sink, backend),
-        Workload::Skype => vista::skype::run(seed, duration, sink, net, backend),
-        Workload::Webserver => vista::webserver::run(seed, duration, sink, net, backend),
-        Workload::Outlook => vista::outlook::run(seed, duration, sink, backend),
+        Workload::Idle => vista::idle::run(seed, duration, sink, backend, policy),
+        Workload::Firefox => vista::firefox::run(seed, duration, sink, backend, policy),
+        Workload::Skype => vista::skype::run(seed, duration, sink, net, backend, policy),
+        Workload::Webserver => vista::webserver::run(seed, duration, sink, net, backend, policy),
+        Workload::Outlook => vista::outlook::run(seed, duration, sink, backend, policy),
         Workload::ApacheScale => {
             // The sharded-base stress workload targets the Linux model;
             // on Vista it degrades to the paper's webserver run.
-            vista::webserver::run(seed, duration, sink, net, backend)
+            vista::webserver::run(seed, duration, sink, net, backend, policy)
         }
     }
 }

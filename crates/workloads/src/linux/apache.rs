@@ -140,10 +140,12 @@ pub fn run(
     sink: Box<dyn TraceSink>,
     net: NetFault,
     backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
 ) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
         backend,
+        policy,
         ..LinuxConfig::default()
     };
     let shards = cfg.shards() as u32;

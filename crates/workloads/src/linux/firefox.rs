@@ -112,10 +112,12 @@ pub fn run(
     sink: Box<dyn TraceSink>,
     net: NetFault,
     backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
 ) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
         backend,
+        policy,
         ..LinuxConfig::default()
     };
     let mut kernel = LinuxKernel::new(cfg, sink);

@@ -58,10 +58,12 @@ pub fn run(
     duration: SimDuration,
     sink: Box<dyn TraceSink>,
     backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
 ) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
         backend,
+        policy,
         ..LinuxConfig::default()
     };
     let mut kernel = LinuxKernel::new(cfg, sink);

@@ -9,8 +9,9 @@
 //! and 1 s event-loop timeout, and logging drives the journal's ~5 s
 //! mostly-cancelled commit timer (Figure 11's 80–100 % cluster).
 
+use adaptive::{AdaptivePolicy, AdaptiveTimeout};
 use netsim::NetFault;
-use simtime::{Exp, Sample, SimDuration, SimRng};
+use simtime::{Exp, Sample, SimDuration, SimInstant, SimRng};
 use trace::{Pid, TraceSink};
 
 use super::{finish, schedule_lan};
@@ -29,12 +30,67 @@ pub struct WebWorld {
     inflight: u32,
     /// Maximum parallel requests.
     parallel: u32,
+    /// Requests that arrived while the window was full, awaiting a slot.
+    queued: u64,
     /// Per-worker idle event-loop select handle.
     loop_handles: Vec<Option<TimerHandle>>,
     /// The LAN between client and server.
     link: netsim::Link,
     /// Mean request interarrival (paces 30000 requests over the run).
     interarrival: Exp,
+    /// Workload-timeout policy for Apache's own userland constants.
+    policy: AdaptivePolicy,
+    /// Learned distribution of per-request service times — drives the
+    /// 15 s socket-poll watchdog when the policy is `Learned`.
+    poll_est: AdaptiveTimeout,
+    /// Learned distribution of per-worker request interarrival gaps —
+    /// stretches the 1 s event-loop timeout when the policy is `Learned`.
+    loop_est: AdaptiveTimeout,
+    /// Instant of each worker's previous request arrival (gap sampling).
+    last_arrival: Vec<Option<SimInstant>>,
+    /// Connections whose response was lost, awaiting RTO-driven recovery
+    /// (conn → serving worker).
+    pending_retx: std::collections::BTreeMap<ConnId, Pid>,
+}
+
+/// Resolves one userland timeout decision under the policy (the same
+/// contract as the kernels' helper: learned values only replace the
+/// constant once the estimator is warm, clamped to at most the constant).
+fn decide(policy: AdaptivePolicy, est: &AdaptiveTimeout, fixed: SimDuration) -> SimDuration {
+    if policy.is_learned() && est.is_warm() {
+        telemetry::sim::add(telemetry::SimCounter::AdaptiveLearnedArms, 1);
+        est.timeout().min(fixed)
+    } else {
+        fixed
+    }
+}
+
+/// The poll-loop variant of [`decide`]: a pure periodic poll gains
+/// nothing from firing *sooner* — each expiry is exactly the spurious
+/// wakeup §2.1 charges against battery life — so the learned value only
+/// ever **stretches** the timeout (the §5.2 observation that apps pick
+/// round 1 s values out of habit, not need). The historical constant
+/// becomes the floor and the estimator's ceiling the cap; any work that
+/// arrives still cancels the poll early, so latency is unaffected.
+///
+/// Unlike [`decide`] this consults the estimator even before it is warm:
+/// a run of expired polls feeds `observe_timeout`, whose level-shift
+/// backoff multiplies the initial constant — that is what lets an idle
+/// worker's 1 s loop decay toward the ceiling instead of waking forever
+/// (Figure 4's countdown idiom, learned instead of hand-coded).
+fn decide_stretch(
+    policy: AdaptivePolicy,
+    est: &AdaptiveTimeout,
+    fixed: SimDuration,
+) -> SimDuration {
+    if !policy.is_learned() {
+        return fixed;
+    }
+    let timeout = est.timeout().max(fixed);
+    if timeout != fixed {
+        telemetry::sim::add(telemetry::SimCounter::AdaptiveLearnedArms, 1);
+    }
+    timeout
 }
 
 impl LinuxWorld for WebWorld {
@@ -44,16 +100,30 @@ impl LinuxWorld for WebWorld {
                 if kind == UserKind::Select && pid_is_worker(pid) =>
             {
                 // The worker's 1 s event-loop timeout expired with no
-                // work: re-issue (Table 3's "Apache event loop").
+                // work: re-issue (Table 3's "Apache event loop"). The
+                // expiry is by definition spurious — nothing arrived —
+                // so it feeds the estimator's level-shift detector,
+                // which backs the re-issued timeout off toward the
+                // ceiling under the learned policy.
+                driver.world.loop_est.observe_timeout();
                 worker_loop_wait(driver, pid, tid);
             }
             Notify::TcpRetransmit { conn } => {
-                // Retransmitted segment: schedule its ACK (LAN is
-                // effectively lossless, so this is rare).
+                // The RTO fired and the segment goes out again; if it
+                // survives the link this time, its ACK completes the
+                // request the loss had stalled. If it is lost too, the
+                // backed-off RTO re-fires and we try once more.
                 let link = driver.world.link.clone();
                 if let Some(rtt) = link.send_segment_at(driver.now(), &mut driver.rng) {
                     driver.after(rtt, move |d| {
+                        // Karn's rule: no RTT sample for retransmits.
                         d.kernel.tcp_ack_received(conn, None);
+                        if let Some(worker) = d.world.pending_retx.remove(&conn) {
+                            d.kernel.tcp_close(conn);
+                            d.world.inflight -= 1;
+                            admit_queued(d);
+                            worker_loop_wait(d, worker, worker);
+                        }
                     });
                 }
             }
@@ -66,34 +136,67 @@ fn pid_is_worker(pid: Pid) -> bool {
     (pids::APACHE..pids::APACHE + WORKERS).contains(&pid)
 }
 
-/// A worker waits in its event loop with the 1 s timeout.
+/// A worker waits in its event loop with the 1 s timeout (or, under the
+/// learned policy, the stretched tail of its observed arrival gaps).
 fn worker_loop_wait(driver: &mut LinuxDriver<WebWorld>, pid: Pid, tid: u32) {
-    let handle = driver.kernel.sys_select(
-        pid,
-        tid,
-        "apache2:event_loop",
+    let timeout = decide_stretch(
+        driver.world.policy,
+        &driver.world.loop_est,
         SimDuration::from_secs(1),
-        false,
     );
+    let handle = driver
+        .kernel
+        .sys_select(pid, tid, "apache2:event_loop", timeout, false);
     driver.world.loop_handles[(pid - pids::APACHE) as usize] = Some(handle);
 }
 
-/// Issues the next httperf request if the budget and window allow.
-fn maybe_issue(driver: &mut LinuxDriver<WebWorld>) {
-    if driver.world.remaining == 0 || driver.world.inflight >= driver.world.parallel {
+/// Dispatches one request to a worker (window slot already claimed).
+fn issue_now(driver: &mut LinuxDriver<WebWorld>) {
+    driver.world.inflight += 1;
+    let worker = pids::APACHE + (driver.rng.range_u64(0, WORKERS as u64) as u32);
+    // The gap since this worker's previous request is what its event-loop
+    // timeout actually covers; learn it in every mode, consult it under
+    // `Learned`.
+    let now = driver.now();
+    let slot = (worker - pids::APACHE) as usize;
+    if let Some(prev) = driver.world.last_arrival[slot] {
+        driver.world.loop_est.observe_success(now - prev);
+    }
+    driver.world.last_arrival[slot] = Some(now);
+    request_arrives(driver, worker);
+}
+
+/// Pacing tick: one httperf request arrives. httperf holds its rate
+/// regardless of outstanding replies; a full parallel window just queues
+/// the request client-side until a slot frees up.
+fn arrival_tick(driver: &mut LinuxDriver<WebWorld>) {
+    if driver.world.remaining == 0 {
         return;
     }
     driver.world.remaining -= 1;
-    driver.world.inflight += 1;
-    let worker = pids::APACHE + (driver.rng.range_u64(0, WORKERS as u64) as u32);
-    request_arrives(driver, worker);
+    if driver.world.inflight >= driver.world.parallel {
+        driver.world.queued += 1;
+        return;
+    }
+    issue_now(driver);
+}
+
+/// Completion path: a response finished, freeing a window slot; only a
+/// request the pacer already queued may take it. (Issuing a *new* request
+/// here would let the closed loop outrun the arrival process and compress
+/// the whole request budget into the first seconds of the trace.)
+fn admit_queued(driver: &mut LinuxDriver<WebWorld>) {
+    if driver.world.queued > 0 && driver.world.inflight < driver.world.parallel {
+        driver.world.queued -= 1;
+        issue_now(driver);
+    }
 }
 
 /// Schedules the paced arrival process.
 fn schedule_arrivals(driver: &mut LinuxDriver<WebWorld>) {
     let gap = driver.world.interarrival.sample_duration(&mut driver.rng);
     driver.after(gap.max(SimDuration::from_micros(200)), |d| {
-        maybe_issue(d);
+        arrival_tick(d);
         if d.world.remaining > 0 {
             schedule_arrivals(d);
         }
@@ -117,14 +220,18 @@ fn request_arrives(driver: &mut LinuxDriver<WebWorld>, worker: Pid) {
     let rtt = link.sample_rtt_at(driver.now(), &mut driver.rng);
     driver.after(rtt, move |d| {
         // Handshake done; the worker polls the connection with Apache's
-        // 15 s socket timeout (Table 3: "apache2 socket poll").
+        // 15 s socket timeout (Table 3: "apache2 socket poll") — or the
+        // learned service-time tail under the adaptive policy.
         d.kernel.tcp_established(conn);
-        let poll = d.kernel.sys_poll(
-            worker,
-            worker,
-            "apache2:socket_poll",
+        let poll_timeout = decide(
+            d.world.policy,
+            &d.world.poll_est,
             SimDuration::from_secs(15),
         );
+        let poll_armed_at = d.now();
+        let poll = d
+            .kernel
+            .sys_poll(worker, worker, "apache2:socket_poll", poll_timeout);
         let link2 = d.world.link.clone();
         let req_in = link2.sample_rtt_at(d.now(), &mut d.rng) / 2;
         d.after(req_in, move |d| {
@@ -137,18 +244,21 @@ fn request_arrives(driver: &mut LinuxDriver<WebWorld>, worker: Pid) {
                 let at = SimDuration::from_micros(300 * c);
                 d.after(at, move |d| {
                     if d.kernel.timer_base().is_pending(poll) {
-                        d.kernel.sys_poll(
-                            worker,
-                            worker,
-                            "apache2:socket_poll",
+                        let t = decide(
+                            d.world.policy,
+                            &d.world.poll_est,
                             SimDuration::from_secs(15),
                         );
+                        d.kernel.sys_poll(worker, worker, "apache2:socket_poll", t);
                     }
                 });
             }
             let done = SimDuration::from_micros(300 * chunks + 50);
             d.after(done, move |d| {
                 if d.kernel.timer_base().is_pending(poll) {
+                    // The poll completed with work: its elapsed wait is a
+                    // service-time sample for the watchdog distribution.
+                    d.world.poll_est.observe_success(d.now() - poll_armed_at);
                     d.kernel.sys_poll_return(poll);
                 }
             });
@@ -183,21 +293,20 @@ fn serve_response(driver: &mut LinuxDriver<WebWorld>, conn: ConnId, worker: Pid)
                 d.kernel.tcp_ack_received(conn, Some(rtt));
                 d.kernel.tcp_close(conn);
                 d.world.inflight -= 1;
-                // Closed loop: completion admits the next request.
-                maybe_issue(d);
+                // A freed slot admits a queued request, if the pacer
+                // left one waiting.
+                admit_queued(d);
                 // The worker goes back to its event loop.
                 worker_loop_wait(d, worker, worker);
             });
         }
         None => {
-            // Lost response: the RTO notification path resends; close
-            // after the retransmit's ACK.
-            driver.after(SimDuration::from_millis(400), move |d| {
-                d.kernel.tcp_close(conn);
-                d.world.inflight -= 1;
-                maybe_issue(d);
-                worker_loop_wait(d, worker, worker);
-            });
+            // Lost response: recovery is the RTO's job. The connection
+            // (and its window slot, and the worker) stays busy until the
+            // retransmitted response is ACKed — the armed wait before
+            // that retransmit is precisely the recovery latency the
+            // fixed-vs-learned §5.1 figures compare.
+            driver.world.pending_retx.insert(conn, worker);
         }
     }
 }
@@ -210,10 +319,12 @@ pub fn run(
     sink: Box<dyn TraceSink>,
     net: NetFault,
     backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
 ) -> LinuxKernel {
     let cfg = LinuxConfig {
         seed,
         backend,
+        policy,
         ..LinuxConfig::default()
     };
     let mut kernel = LinuxKernel::new(cfg, sink);
@@ -230,9 +341,21 @@ pub fn run(
         remaining: total_requests,
         inflight: 0,
         parallel: 10,
+        queued: 0,
         loop_handles: vec![None; WORKERS as usize],
         link: netsim::Link::lan().with_fault(net),
         interarrival: Exp::new(mean_gap.max(1e-4)),
+        policy,
+        poll_est: AdaptiveTimeout::new(0.999, SimDuration::from_secs(15))
+            .with_safety(2.0)
+            .with_bounds(SimDuration::from_millis(100), SimDuration::from_secs(15))
+            .with_warmup(32),
+        loop_est: AdaptiveTimeout::new(0.999, SimDuration::from_secs(1))
+            .with_safety(2.0)
+            .with_bounds(SimDuration::from_millis(50), SimDuration::from_secs(8))
+            .with_warmup(32),
+        last_arrival: vec![None; WORKERS as usize],
+        pending_retx: std::collections::BTreeMap::new(),
     };
     let rng = SimRng::new(seed ^ 0x3eb5);
     let mut driver = LinuxDriver::new(kernel, rng, world);

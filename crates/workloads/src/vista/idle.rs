@@ -35,10 +35,12 @@ pub fn run(
     duration: SimDuration,
     sink: Box<dyn TraceSink>,
     backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
 ) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
         backend,
+        policy,
         ..VistaConfig::default()
     };
     let kernel = VistaKernel::new(cfg, sink);

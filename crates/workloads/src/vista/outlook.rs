@@ -120,11 +120,13 @@ pub fn run(
     duration: SimDuration,
     sink: Box<dyn TraceSink>,
     backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
 ) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
         kernel_load: KernelLoadLevel::Desktop,
         backend,
+        policy,
         ..VistaConfig::default()
     };
     let mut kernel = VistaKernel::new(cfg, sink);

@@ -120,10 +120,12 @@ pub fn run(
     sink: Box<dyn TraceSink>,
     net: NetFault,
     backend: wheel::Backend,
+    policy: adaptive::AdaptivePolicy,
 ) -> VistaKernel {
     let cfg = VistaConfig {
         seed,
         backend,
+        policy,
         ..VistaConfig::default()
     };
     let mut kernel = VistaKernel::new(cfg, sink);
