@@ -179,6 +179,83 @@ impl TraceAnalyzer {
         self.values_user.push(event);
         self.countdown.push(event);
         self.attribution.push(event);
+        self.push_lifecycle(event);
+    }
+
+    /// Feeds a whole chunk, component-major: each component folds the
+    /// full chunk before the next starts. The components are independent
+    /// folds over the same stream (the property the [`crate::parts`]
+    /// split is built on), so the final state is identical to per-event
+    /// [`push`](Self::push) order — chunk boundaries carry no semantics —
+    /// while each inner loop keeps one component's state and code hot.
+    pub fn push_chunk(&mut self, events: &[Event]) {
+        for event in events {
+            self.counts.absorb(event);
+        }
+        for event in events {
+            self.population.push(event);
+        }
+        for event in events {
+            self.rates.push(event);
+        }
+        for event in events {
+            self.values_all.push(event);
+        }
+        for event in events {
+            self.values_filtered.push(event);
+        }
+        for event in events {
+            self.values_user.push(event);
+        }
+        for event in events {
+            self.countdown.push(event);
+        }
+        self.attribution.push_chunk(events);
+        for event in events {
+            self.push_lifecycle(event);
+        }
+    }
+
+    /// Columnar variant of [`push_chunk`](Self::push_chunk) over a
+    /// decoded structure-of-arrays batch: the counting and bucketing
+    /// folds read only the columns they need (and the three value
+    /// histograms share one bucket computation); the order-sensitive
+    /// per-timer folds materialise each row once.
+    pub fn push_columns(&mut self, cols: &crate::visitor::EventColumns) {
+        let n = cols.len();
+        for i in 0..n {
+            self.counts.absorb_parts(cols.kinds[i], cols.spaces[i]);
+        }
+        for &timer in &cols.timers {
+            self.population.push_addr(timer);
+        }
+        for i in 0..n {
+            if cols.kinds[i] == trace::EventKind::Set {
+                self.rates.record_set(cols.ts_nanos[i], cols.pids[i]);
+            }
+        }
+        for i in 0..n {
+            if cols.kinds[i] == trace::EventKind::Set
+                && cols.timeout_ns[i] != crate::visitor::EventColumns::NONE_NS
+            {
+                let bucket = ValueHistogram::bucket_of(cols.timeout_ns[i]);
+                let (space, pid) = (cols.spaces[i], cols.pids[i]);
+                self.values_all.record_bucket(space, pid, bucket);
+                self.values_filtered.record_bucket(space, pid, bucket);
+                self.values_user.record_bucket(space, pid, bucket);
+            }
+        }
+        for i in 0..n {
+            let event = cols.event(i);
+            self.countdown.push(&event);
+            self.attribution.push(&event);
+            self.push_lifecycle(&event);
+        }
+    }
+
+    /// The lifecycle chain: episode reconstruction feeding the
+    /// classifiers, scatter and provenance, in exact sample order.
+    fn push_lifecycle(&mut self, event: &Event) {
         if let Some(sample) = self.lifecycle.push(event) {
             let key = match self.cfg.cluster_mode {
                 ClusterMode::ByAddress => ClusterKey(sample.addr, 0),

@@ -20,11 +20,10 @@
 //! values and between expiry and re-set, the experimentally determined
 //! bound of §3.1/§4.1.1.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use simtime::SimDuration;
 
+use crate::fasthash::FoldMap;
 use crate::lifecycle::{Outcome, Sample};
 
 /// The pattern classes of §4.1.1.
@@ -84,7 +83,7 @@ struct KeyState {
     cancels: u64,
     resets: u64,
     /// Histogram of set values, bucketed by the jitter tolerance.
-    value_counts: HashMap<u64, u64>,
+    value_counts: FoldMap<u64, u64>,
     /// Re-sets that followed an expiry within the tolerance (periodic
     /// signature) vs. after a longer gap (delay signature).
     immediate_rearms: u64,
@@ -102,7 +101,7 @@ struct KeyState {
 #[derive(Debug)]
 pub struct Classifier {
     tolerance: SimDuration,
-    keys: HashMap<ClusterKey, KeyState>,
+    keys: FoldMap<ClusterKey, KeyState>,
 }
 
 /// The classified population: cluster count per class (Figure 2's
@@ -131,7 +130,7 @@ impl Classifier {
     pub fn new(tolerance: SimDuration) -> Self {
         Classifier {
             tolerance,
-            keys: HashMap::new(),
+            keys: FoldMap::default(),
         }
     }
 

@@ -10,11 +10,11 @@
 //! ground-truth flag the simulator attaches, which is reserved for
 //! validating the detector.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use simtime::SimDuration;
 use trace::{Event, EventKind, Pid, TimerAddr};
+
+use crate::fasthash::FoldMap;
 
 /// Per-timer countdown statistics.
 #[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
@@ -47,12 +47,20 @@ pub struct Dot {
     pub value: f64,
 }
 
+/// Per-timer detector state: the running stats plus the previous set,
+/// in one map entry so each event costs a single hash lookup.
+#[derive(Debug, Default)]
+struct TimerState {
+    stats: CountdownStats,
+    /// Previous set on this timer: (ts_ns, value_ns).
+    last_set: Option<(u64, u64)>,
+}
+
 /// The streaming countdown detector.
 #[derive(Debug)]
 pub struct CountdownDetector {
     tolerance: SimDuration,
-    last_set: HashMap<TimerAddr, (u64, u64)>, // (ts_ns, value_ns)
-    per_timer: HashMap<TimerAddr, CountdownStats>,
+    per_timer: FoldMap<TimerAddr, TimerState>,
     /// Processes whose every set is recorded as a Figure 4 dot.
     dot_pids: Vec<Pid>,
     dots: Vec<Dot>,
@@ -69,8 +77,7 @@ impl CountdownDetector {
     pub fn new(tolerance: SimDuration, dot_pids: Vec<Pid>) -> Self {
         CountdownDetector {
             tolerance,
-            last_set: HashMap::new(),
-            per_timer: HashMap::new(),
+            per_timer: FoldMap::default(),
             dot_pids,
             dots: Vec::new(),
             max_dots: 200_000,
@@ -88,14 +95,14 @@ impl CountdownDetector {
         let Some(value) = event.timeout else {
             return;
         };
-        let stats = self.per_timer.entry(event.timer).or_default();
-        stats.sets += 1;
+        let state = self.per_timer.entry(event.timer).or_default();
+        state.stats.sets += 1;
         if event.flags.countdown {
-            stats.flagged_sets += 1;
+            state.stats.flagged_sets += 1;
         }
         let now_ns = event.ts.as_nanos();
         let value_ns = value.as_nanos();
-        if let Some(&(prev_ts, prev_value)) = self.last_set.get(&event.timer) {
+        if let Some((prev_ts, prev_value)) = state.last_set {
             if now_ns <= prev_ts {
                 // A backwards or duplicated timestamp used to collapse to
                 // "zero elapsed" via saturating_sub, so any re-issue of a
@@ -114,11 +121,11 @@ impl CountdownDetector {
                     && expected_remaining.abs_diff(value_ns) <= tol
                     && prev_value > 0
                 {
-                    stats.countdown_sets += 1;
+                    state.stats.countdown_sets += 1;
                 }
             }
         }
-        self.last_set.insert(event.timer, (now_ns, value_ns));
+        state.last_set = Some((now_ns, value_ns));
         if self.dot_pids.contains(&event.pid) && self.dots.len() < self.max_dots {
             self.dots.push(Dot {
                 t: event.ts.as_secs_f64(),
@@ -131,14 +138,14 @@ impl CountdownDetector {
     pub fn countdown_timers(&self, min_fraction: f64) -> Vec<TimerAddr> {
         self.per_timer
             .iter()
-            .filter(|(_, s)| s.sets >= 4 && s.countdown_fraction() >= min_fraction)
+            .filter(|(_, s)| s.stats.sets >= 4 && s.stats.countdown_fraction() >= min_fraction)
             .map(|(&addr, _)| addr)
             .collect()
     }
 
     /// Per-timer statistics.
     pub fn stats(&self, addr: TimerAddr) -> Option<CountdownStats> {
-        self.per_timer.get(&addr).copied()
+        self.per_timer.get(&addr).map(|s| s.stats)
     }
 
     /// The Figure 4 dot series.
@@ -158,8 +165,8 @@ impl CountdownDetector {
         let mut detected = 0;
         let mut flagged = 0;
         for s in self.per_timer.values() {
-            detected += s.countdown_sets;
-            flagged += s.flagged_sets;
+            detected += s.stats.countdown_sets;
+            flagged += s.stats.flagged_sets;
         }
         (detected, flagged)
     }

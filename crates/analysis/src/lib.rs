@@ -38,6 +38,7 @@ pub mod analyzer;
 pub mod attribution;
 pub mod classify;
 pub mod countdown;
+pub mod fasthash;
 pub mod lifecycle;
 pub mod parts;
 pub mod provenance;
@@ -51,4 +52,4 @@ pub use attribution::AttributionTracker;
 pub use classify::{PatternClass, PatternMix};
 pub use lifecycle::{Outcome, Sample};
 pub use parts::{assemble_report, split_analyzer, AnalyzerPart, ANALYZER_PART_COUNT};
-pub use visitor::{drive_chunks, EventVisitor, SampleVisitor};
+pub use visitor::{drive_chunks, drive_views, EventColumns, EventVisitor, SampleVisitor};

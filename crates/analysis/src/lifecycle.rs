@@ -8,10 +8,10 @@
 //! size is bounded by timer concurrency (≤ 84 in the paper's traces) even
 //! on Vista where addresses are allocated dynamically.
 
-use std::collections::HashMap;
-
 use simtime::{SimDuration, SimInstant};
 use trace::{Event, EventKind, OriginId, Pid, Space, Tid, TimerAddr};
+
+use crate::fasthash::FoldMap;
 
 /// How an episode ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,7 +88,7 @@ struct Open {
 /// fewer episodes, never fabricated or double-counted ones.
 #[derive(Debug, Default)]
 pub struct LifecycleTracker {
-    open: HashMap<TimerAddr, Open>,
+    open: FoldMap<TimerAddr, Open>,
     /// Peak number of simultaneously armed timers (Table 1/2 concurrency).
     peak_concurrency: usize,
     /// End events whose opening `Set` was never seen.

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use trace::OriginId;
 
 use crate::classify::PatternClass;
+use crate::fasthash::FoldMap;
 use crate::lifecycle::Sample;
 
 /// Histogram bucket resolution: 0.1 ms (matches `values`).
@@ -32,7 +33,7 @@ pub struct ProvenanceRow {
 /// Streaming provenance accumulation.
 #[derive(Debug, Default)]
 pub struct ProvenanceTracker {
-    counts: HashMap<(OriginId, u64), u64>,
+    counts: FoldMap<(OriginId, u64), u64>,
     total: u64,
 }
 

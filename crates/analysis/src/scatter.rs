@@ -7,10 +7,9 @@
 //! frequency. Timers set to expire immediately or with an expiry time in
 //! the past are not plotted. … The figures are cut off above 250 %."
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
+use crate::fasthash::FoldMap;
 use crate::lifecycle::{Outcome, Sample};
 
 /// Maximum plotted percentage (the paper's cut-off).
@@ -35,7 +34,7 @@ pub struct ScatterPoint {
 /// paper's axis) and 1 % in y, with per-bucket outcome counts.
 #[derive(Debug, Default)]
 pub struct ScatterBuilder {
-    buckets: HashMap<(i32, u32), (u64, u64)>, // (expired, canceled)
+    buckets: FoldMap<(i32, u32), (u64, u64)>, // (expired, canceled)
     dropped_immediate: u64,
 }
 

@@ -1,9 +1,11 @@
 //! Trace summaries (Tables 1 and 2) and the timer-rate series (Figure 1).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use trace::{Event, EventCounts, EventKind, Pid, TimerAddr};
+
+use crate::fasthash::{FoldMap, FoldSet};
 
 /// One workload's trace summary — one column of Table 1 / Table 2.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -67,13 +69,18 @@ impl TraceSummary {
 /// Tracks distinct timer addresses (the "timers" row).
 #[derive(Debug, Default)]
 pub struct TimerPopulation {
-    seen: HashSet<TimerAddr>,
+    seen: FoldSet<TimerAddr>,
 }
 
 impl TimerPopulation {
     /// Feeds one event.
     pub fn push(&mut self, event: &Event) {
-        self.seen.insert(event.timer);
+        self.push_addr(event.timer);
+    }
+
+    /// Folds one timer address (the columnar entry point).
+    pub(crate) fn push_addr(&mut self, addr: TimerAddr) {
+        self.seen.insert(addr);
     }
 
     /// Number of distinct timers.
@@ -91,8 +98,15 @@ pub struct RateSeries {
     groups: HashMap<Pid, String>,
     default_group: String,
     kernel_group: String,
-    /// counts[group][second] = sets.
-    counts: HashMap<String, Vec<u32>>,
+    /// Group names with at least one set, in first-seen order; `data` is
+    /// indexed in parallel.
+    names: Vec<String>,
+    /// data[slot][second] = sets.
+    data: Vec<Vec<u32>>,
+    /// Memoised pid → slot. Resolving a pid's group costs a string clone
+    /// the first time; every later set from that pid is one integer
+    /// lookup — this fold sits on every event of the hot path.
+    pid_slot: FoldMap<Pid, usize>,
 }
 
 impl RateSeries {
@@ -102,7 +116,9 @@ impl RateSeries {
             groups,
             default_group: "System".to_owned(),
             kernel_group: "Kernel".to_owned(),
-            counts: HashMap::new(),
+            names: Vec::new(),
+            data: Vec::new(),
+            pid_slot: FoldMap::default(),
         }
     }
 
@@ -111,13 +127,33 @@ impl RateSeries {
         if event.kind != EventKind::Set {
             return;
         }
-        let group = match self.groups.get(&event.pid) {
-            Some(g) => g.clone(),
-            None if event.pid == 0 => self.kernel_group.clone(),
-            None => self.default_group.clone(),
+        self.record_set(event.ts.as_nanos(), event.pid);
+    }
+
+    /// Folds one set operation given its raw columns.
+    pub(crate) fn record_set(&mut self, ts_nanos: u64, pid: Pid) {
+        let slot = match self.pid_slot.get(&pid) {
+            Some(&slot) => slot,
+            None => {
+                let name: String = match self.groups.get(&pid) {
+                    Some(g) => g.clone(),
+                    None if pid == 0 => self.kernel_group.clone(),
+                    None => self.default_group.clone(),
+                };
+                let slot = match self.names.iter().position(|n| *n == name) {
+                    Some(slot) => slot,
+                    None => {
+                        self.names.push(name);
+                        self.data.push(Vec::new());
+                        self.names.len() - 1
+                    }
+                };
+                self.pid_slot.insert(pid, slot);
+                slot
+            }
         };
-        let sec = (event.ts.as_nanos() / 1_000_000_000) as usize;
-        let series = self.counts.entry(group).or_default();
+        let sec = (ts_nanos / 1_000_000_000) as usize;
+        let series = &mut self.data[slot];
         if series.len() <= sec {
             series.resize(sec + 1, 0);
         }
@@ -126,12 +162,16 @@ impl RateSeries {
 
     /// The per-second series for `group`.
     pub fn series(&self, group: &str) -> &[u32] {
-        self.counts.get(group).map(Vec::as_slice).unwrap_or(&[])
+        self.names
+            .iter()
+            .position(|n| n == group)
+            .map(|slot| self.data[slot].as_slice())
+            .unwrap_or(&[])
     }
 
     /// All group names present.
     pub fn group_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.counts.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self.names.iter().map(String::as_str).collect();
         names.sort();
         names
     }

@@ -7,10 +7,10 @@
 //! distinction the paper preserves — and report every value responsible
 //! for at least 2 % of sets.
 
-use std::collections::{HashMap, HashSet};
-
 use serde::{Deserialize, Serialize};
 use trace::{Event, EventKind, Pid, Space};
+
+use crate::fasthash::{FoldMap, FoldSet};
 
 /// Histogram bucket resolution: 0.1 ms.
 const BUCKET_NS: u64 = 100_000;
@@ -31,12 +31,12 @@ pub struct ValueRow {
 /// A streaming value histogram with optional filters.
 #[derive(Debug, Default)]
 pub struct ValueHistogram {
-    counts: HashMap<u64, u64>,
+    counts: FoldMap<u64, u64>,
     total: u64,
     /// Only count user-space sets (Figure 6).
     user_only: bool,
     /// Skip sets from these processes (the X/icewm filter of Figure 5).
-    exclude_pids: HashSet<Pid>,
+    exclude_pids: FoldSet<Pid>,
 }
 
 impl ValueHistogram {
@@ -75,16 +75,27 @@ impl ValueHistogram {
         if event.kind != EventKind::Set {
             return;
         }
-        if self.user_only && event.space != Space::User {
-            return;
-        }
-        if self.exclude_pids.contains(&event.pid) {
-            return;
-        }
         let Some(timeout) = event.timeout else {
             return;
         };
-        let bucket = round_half_up(timeout.as_nanos(), BUCKET_NS);
+        self.record_bucket(event.space, event.pid, Self::bucket_of(timeout.as_nanos()));
+    }
+
+    /// The bucket a raw timeout value falls into — shared between this
+    /// histogram's own `push` and the columnar path, which computes the
+    /// bucket once for the three filtered instances.
+    pub(crate) fn bucket_of(timeout_ns: u64) -> u64 {
+        round_half_up(timeout_ns, BUCKET_NS)
+    }
+
+    /// Counts one pre-bucketed set if it passes this instance's filters.
+    pub(crate) fn record_bucket(&mut self, space: Space, pid: Pid, bucket: u64) {
+        if self.user_only && space != Space::User {
+            return;
+        }
+        if !self.exclude_pids.is_empty() && self.exclude_pids.contains(&pid) {
+            return;
+        }
         *self.counts.entry(bucket).or_insert(0) += 1;
         self.total += 1;
     }

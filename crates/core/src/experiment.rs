@@ -172,9 +172,12 @@ impl ChunkedAnalyzerSink {
         }
     }
 
-    /// Gauges the buffer fill, delivers it as one chunk, and empties it.
-    /// Flush points are a pure function of the event stream, so the gauge
-    /// stays bit-identical across serial/parallel/cached execution.
+    /// Gauges the buffer fill, delivers it as one chunk, and empties it —
+    /// `clear` keeps the capacity, so one chunk buffer is recycled for
+    /// the whole run instead of reallocated per flush. Flush points are a
+    /// pure function of the event stream, so the gauge and the reuse
+    /// counter stay bit-identical across serial/parallel/cached
+    /// execution (and across this sink and [`PdesFanoutSink`]).
     fn flush(&mut self) {
         if self.buf.is_empty() {
             return;
@@ -183,6 +186,7 @@ impl ChunkedAnalyzerSink {
             telemetry::SimGauge::AnalysisResidentEventsHigh,
             self.buf.len() as u64,
         );
+        telemetry::sim::add(telemetry::SimCounter::AnalysisChunkReuse, 1);
         if let Some(a) = self.analyzer.as_mut() {
             a.visit_chunk(&self.buf);
         }
@@ -425,6 +429,13 @@ struct PdesFanoutSink {
     buf: Vec<Event>,
     clock: SimInstant,
     chunks_sent: u64,
+    /// Shipped chunks the workers may still hold, oldest first. Once the
+    /// sink owns a chunk's last `Arc`, its allocation is reclaimed into
+    /// `pool` instead of dropped.
+    in_flight: std::collections::VecDeque<std::sync::Arc<Vec<Event>>>,
+    /// Reclaimed chunk buffers awaiting reuse — the steady state ships
+    /// every chunk in a recycled allocation.
+    pool: Vec<Vec<Event>>,
 }
 
 impl PdesFanoutSink {
@@ -434,12 +445,35 @@ impl PdesFanoutSink {
             buf: Vec::with_capacity(ANALYSIS_CHUNK_EVENTS),
             clock: SimInstant::BOOT,
             chunks_sent: 0,
+            in_flight: std::collections::VecDeque::new(),
+            pool: Vec::new(),
         }
     }
 
+    /// The next chunk buffer: reclaims every in-flight chunk the workers
+    /// have fully released (strictly decreasing refcounts — workers never
+    /// clone), then reuses a pooled allocation if one exists. Pool
+    /// occupancy is wall-plane scheduling luck; nothing here touches the
+    /// sim plane.
+    fn next_buf(&mut self) -> Vec<Event> {
+        while let Some(front) = self.in_flight.front() {
+            if std::sync::Arc::strong_count(front) != 1 {
+                break;
+            }
+            let chunk = self.in_flight.pop_front().expect("front just observed");
+            let mut buf = std::sync::Arc::try_unwrap(chunk).expect("sole owner");
+            buf.clear();
+            self.pool.push(buf);
+        }
+        self.pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(ANALYSIS_CHUNK_EVENTS))
+    }
+
     /// Gauges the buffer fill and ships it as one chunk — the identical
-    /// observable behaviour to [`ChunkedAnalyzerSink::flush`], which is
-    /// what keeps the sim snapshot byte-identical to the serial path.
+    /// observable behaviour to [`ChunkedAnalyzerSink::flush`] (same sim
+    /// ops at the same flush points), which is what keeps the sim
+    /// snapshot byte-identical to the serial path.
     fn flush(&mut self) {
         if self.buf.is_empty() {
             return;
@@ -448,14 +482,16 @@ impl PdesFanoutSink {
             telemetry::SimGauge::AnalysisResidentEventsHigh,
             self.buf.len() as u64,
         );
+        telemetry::sim::add(telemetry::SimCounter::AnalysisChunkReuse, 1);
         for event in &self.buf {
             self.clock = self.clock.max(event.ts);
         }
-        let chunk = std::sync::Arc::new(std::mem::take(&mut self.buf));
-        self.buf = Vec::with_capacity(ANALYSIS_CHUNK_EVENTS);
+        let next = self.next_buf();
+        let chunk = std::sync::Arc::new(std::mem::replace(&mut self.buf, next));
         for outlet in &mut self.outlets {
             outlet.send(self.clock, chunk.clone());
         }
+        self.in_flight.push_back(chunk);
         self.chunks_sent += 1;
     }
 

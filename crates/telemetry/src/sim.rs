@@ -70,12 +70,20 @@ pub enum SimCounter {
     /// of the historical constant — zero unless the adaptive policy is
     /// `Learned`.
     AdaptiveLearnedArms,
+    /// Chunk buffers handed back to the streaming analysis pipeline for
+    /// reuse instead of being freshly allocated — every flush after the
+    /// first on a sink reuses the same backing storage.
+    AnalysisChunkReuse,
+    /// Timer nodes recycled through a backend's slab free list instead of
+    /// growing the arena (a disarm/expire made the slot available and a
+    /// later arm reclaimed it).
+    ArenaRecycles,
 }
 
 impl SimCounter {
     /// Every counter, in stable export order. New counters are appended so
     /// existing counters' indices stay stable.
-    pub const ALL: [SimCounter; 19] = [
+    pub const ALL: [SimCounter; 21] = [
         SimCounter::WheelSchedules,
         SimCounter::WheelCascadeMoves,
         SimCounter::WheelExpirations,
@@ -95,6 +103,8 @@ impl SimCounter {
         SimCounter::AdaptiveRtoExpirations,
         SimCounter::AdaptiveRtoWaitNs,
         SimCounter::AdaptiveLearnedArms,
+        SimCounter::AnalysisChunkReuse,
+        SimCounter::ArenaRecycles,
     ];
 
     /// Stable metric name (Prometheus conventions).
@@ -119,6 +129,8 @@ impl SimCounter {
             SimCounter::AdaptiveRtoExpirations => "adaptive_rto_expirations_total",
             SimCounter::AdaptiveRtoWaitNs => "adaptive_rto_wait_ns_total",
             SimCounter::AdaptiveLearnedArms => "adaptive_learned_arms_total",
+            SimCounter::AnalysisChunkReuse => "analysis_chunk_reuse_total",
+            SimCounter::ArenaRecycles => "arena_recycles_total",
         }
     }
 }
@@ -141,17 +153,22 @@ pub enum SimGauge {
     /// of a sharded backend — 0 unless shards are in use (or perfectly
     /// balanced).
     WheelBaseImbalanceMax,
+    /// Most timer nodes a backend slab arena ever held live at once — the
+    /// arena's whole memory footprint, which the free list keeps from
+    /// growing past the workload's peak concurrency.
+    ArenaNodesHigh,
 }
 
 impl SimGauge {
     /// Every gauge, in stable export order. New gauges are appended so
     /// existing gauges' indices stay stable.
-    pub const ALL: [SimGauge; 5] = [
+    pub const ALL: [SimGauge; 6] = [
         SimGauge::WheelPendingHigh,
         SimGauge::RingBytesHigh,
         SimGauge::StringTableSize,
         SimGauge::AnalysisResidentEventsHigh,
         SimGauge::WheelBaseImbalanceMax,
+        SimGauge::ArenaNodesHigh,
     ];
 
     /// Stable metric name.
@@ -162,6 +179,7 @@ impl SimGauge {
             SimGauge::StringTableSize => "trace_string_table_size",
             SimGauge::AnalysisResidentEventsHigh => "analysis_resident_events_high_watermark",
             SimGauge::WheelBaseImbalanceMax => "wheel_base_imbalance_max",
+            SimGauge::ArenaNodesHigh => "arena_nodes_high_watermark",
         }
     }
 }

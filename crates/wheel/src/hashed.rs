@@ -14,25 +14,27 @@
 
 use telemetry::{sim, SimCounter};
 
-use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
-
-/// One slot entry: timer id and insertion generation.
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    id: TimerId,
-    generation: u64,
-}
+use crate::api::{Tick, TimerId, TimerQueue};
+use crate::arena::{NodeArena, NodeHandle};
 
 /// A hashed timing wheel with a fixed power-of-two slot count.
+///
+/// Slot entries are arena [`NodeHandle`]s: the per-revolution revisit
+/// check is an indexed slab read, revisited entries are retained by
+/// batch-compacting the slot in place (one counter bump per slot visit,
+/// not per entry), and the reused due buffer makes tick processing
+/// allocation-free in steady state.
 #[derive(Debug)]
 pub struct HashedWheel {
-    slots: Vec<Vec<Slot>>,
+    slots: Vec<Vec<NodeHandle>>,
     mask: u64,
-    active: ActiveSet,
+    arena: NodeArena,
     gen_counter: u64,
     current: Tick,
     /// Entries revisited but not yet due (for benchmarks).
     revisits: u64,
+    /// Reused due-set buffer for tick processing.
+    due_scratch: Vec<(Tick, u64, NodeHandle)>,
 }
 
 impl HashedWheel {
@@ -49,10 +51,11 @@ impl HashedWheel {
         HashedWheel {
             slots: vec![Vec::new(); slot_count],
             mask: (slot_count - 1) as u64,
-            active: ActiveSet::new(),
+            arena: NodeArena::new(),
             gen_counter: 0,
             current: 0,
             revisits: 0,
+            due_scratch: Vec::new(),
         }
     }
 
@@ -69,63 +72,60 @@ impl HashedWheel {
     fn process_tick(&mut self, tick: Tick, fire: &mut dyn FnMut(TimerId, Tick)) {
         self.current = tick;
         let index = (tick & self.mask) as usize;
-        let entries = std::mem::take(&mut self.slots[index]);
-        let mut retained = Vec::new();
+        // Batch-drain the slot in place: not-yet-due survivors compact to
+        // the front (preserving FIFO order ahead of entries inserted by
+        // firing callbacks below), stale entries drop, and the due set
+        // moves to the reused scratch buffer. One pass, no allocation, and
+        // the revisit accounting is one bump for the whole slot rather
+        // than one per retained entry.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        let arena = &self.arena;
+        self.slots[index].retain(|&slot| match arena.expires_if_live(slot) {
+            Some(expires) if expires <= tick => {
+                due.push((expires, slot.generation, slot));
+                false
+            }
+            // Not due for another revolution; keep it.
+            Some(_) => true,
+            // Stale (cancelled or moved): drop silently.
+            None => false,
+        });
+        let retained = self.slots[index].len() as u64;
+        if retained > 0 {
+            self.revisits += retained;
+            sim::add(SimCounter::WheelCascades, retained);
+        }
         // Slot order is hash-bucket insertion order, which interleaves
         // multi-revolution survivors with freshly hashed entries; sort the
         // due set into the contract's (expiry, insertion) order before
         // firing (the generation stamp is the insertion sequence).
-        let mut due: Vec<(Tick, u64, TimerId)> = Vec::new();
-        for slot in entries {
-            match self.active.get(slot.id) {
-                Some(entry) if entry.generation == slot.generation => {
-                    if entry.expires <= tick {
-                        due.push((entry.expires, slot.generation, slot.id));
-                    } else {
-                        // Not due for another revolution; keep it.
-                        self.revisits += 1;
-                        sim::add(SimCounter::WheelCascades, 1);
-                        retained.push(slot);
-                    }
-                }
-                // Stale (cancelled or moved): drop silently.
-                _ => {}
-            }
-        }
-        due.sort_unstable();
-        for (_, generation, id) in due {
-            let expires = self
-                .active
-                .take_if_live(id, generation)
-                .expect("entry verified live");
+        due.sort_unstable_by_key(|&(expires, generation, _)| (expires, generation));
+        for &(_, _, slot) in &due {
+            let (id, expires) = self.arena.take_if_live(slot).expect("entry verified live");
             fire(id, expires);
         }
-        // Preserve FIFO order for retained entries ahead of newly inserted
-        // ones added while firing callbacks ran.
-        if !retained.is_empty() {
-            retained.append(&mut self.slots[index]);
-            self.slots[index] = retained;
-        }
+        due.clear();
+        self.due_scratch = due;
     }
 }
 
 impl TimerQueue for HashedWheel {
     fn schedule(&mut self, id: TimerId, expires: Tick) {
         let mut gen_counter = self.gen_counter;
-        let generation = self.active.arm(id, expires, &mut gen_counter);
+        let slot = self.arena.arm(id, expires, &mut gen_counter);
         self.gen_counter = gen_counter;
         // Already-due timers fire on the next processed tick.
         let slot_tick = expires.max(self.current + 1);
         let index = (slot_tick & self.mask) as usize;
-        self.slots[index].push(Slot { id, generation });
+        self.slots[index].push(slot);
     }
 
     fn cancel(&mut self, id: TimerId) -> bool {
-        self.active.disarm(id)
+        self.arena.disarm(id)
     }
 
     fn is_pending(&self, id: TimerId) -> bool {
-        self.active.is_pending(id)
+        self.arena.is_pending(id)
     }
 
     fn advance_to(&mut self, now: Tick, fire: &mut dyn FnMut(TimerId, Tick)) {
@@ -140,15 +140,15 @@ impl TimerQueue for HashedWheel {
     }
 
     fn next_expiry(&self) -> Option<Tick> {
-        self.active.min_expiry()
+        self.arena.min_expiry()
     }
 
     fn len(&self) -> usize {
-        self.active.len()
+        self.arena.len()
     }
 
     fn snapshot(&self) -> crate::api::QueueSnapshot {
-        self.active.snapshot_at(self.current, 0)
+        self.arena.snapshot_at(self.current)
     }
 }
 

@@ -14,7 +14,8 @@
 //! timer's slot entry lingers until its slot is visited (lazy deletion) and
 //! cascades do bursty work — both measured in the `wheel_ops` benchmark.
 
-use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
+use crate::api::{Tick, TimerId, TimerQueue};
+use crate::arena::{NodeArena, NodeHandle};
 use telemetry::{sim, Counter, SimCounter, SimHist};
 
 /// Bits of the base-level wheel (256 slots of one tick each).
@@ -30,21 +31,19 @@ const TVN_MASK: u64 = (TVN_SIZE - 1) as u64;
 /// the kernel (`MAX_TVAL`).
 const MAX_TVAL: u64 = (1u64 << (TVR_BITS + 4 * TVN_BITS)) - 1;
 
-/// One slot entry: the timer and the generation it was inserted under.
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    id: TimerId,
-    generation: u64,
-}
-
 /// The Linux-style cascading hierarchical timing wheel.
+///
+/// Slot entries are arena [`NodeHandle`]s, so the cascade and tick-firing
+/// loops check liveness with an indexed slab read instead of a map probe,
+/// and the scratch buffers below make steady-state processing
+/// allocation-free.
 #[derive(Debug)]
 pub struct HierarchicalWheel {
     /// Base wheel: one-tick granularity.
-    tv1: Vec<Vec<Slot>>,
+    tv1: Vec<Vec<NodeHandle>>,
     /// Coarser wheels tv2..tv5.
-    tvn: [Vec<Vec<Slot>>; 4],
-    active: ActiveSet,
+    tvn: [Vec<Vec<NodeHandle>>; 4],
+    arena: NodeArena,
     gen_counter: u64,
     /// The last tick fully processed.
     current: Tick,
@@ -52,6 +51,10 @@ pub struct HierarchicalWheel {
     /// Telemetry-backed: the instance getter reads this handle while the
     /// registry aggregates all wheels under `wheel_cascade_moves_total`.
     cascade_moves: Counter,
+    /// Reused drain buffer for cascades and tick processing.
+    drain_scratch: Vec<NodeHandle>,
+    /// Reused due-set buffer for tick processing.
+    due_scratch: Vec<(Tick, u64, NodeHandle)>,
 }
 
 impl Default for HierarchicalWheel {
@@ -66,13 +69,15 @@ impl HierarchicalWheel {
         HierarchicalWheel {
             tv1: vec![Vec::new(); TVR_SIZE],
             tvn: std::array::from_fn(|_| vec![Vec::new(); TVN_SIZE]),
-            active: ActiveSet::new(),
+            arena: NodeArena::new(),
             gen_counter: 0,
             current: 0,
             cascade_moves: Counter::with_sim(
                 "wheel_cascade_moves_total",
                 SimCounter::WheelCascadeMoves,
             ),
+            drain_scratch: Vec::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -85,14 +90,13 @@ impl HierarchicalWheel {
     ///
     /// Mirrors the kernel's `internal_add_timer`: already-expired timers go
     /// into the base slot that will be processed on the very next tick.
-    fn internal_add(&mut self, id: TimerId, generation: u64, expires: Tick) {
+    fn internal_add(&mut self, slot: NodeHandle, expires: Tick) {
         // The kernel computes slot placement relative to `timer_jiffies`,
         // the next tick to be processed — crucially also during cascades,
         // where using the last processed tick instead would put an entry
         // straight back into the coarse slot being drained and delay it a
         // whole revolution.
         let base = self.current + 1;
-        let slot = Slot { id, generation };
         if expires < base {
             // Already due: run on the next processed tick.
             self.tv1[(base & TVR_MASK) as usize].push(slot);
@@ -128,18 +132,22 @@ impl HierarchicalWheel {
     /// the next level up also needs cascading (index 0 means a full
     /// revolution of this level just completed).
     fn cascade(&mut self, level: usize, index: usize) -> usize {
-        let entries = std::mem::take(&mut self.tvn[level][index]);
+        // Swap the slot's contents into the reused drain buffer (the slot
+        // inherits the buffer's capacity for future inserts) so cascades
+        // allocate nothing in steady state.
+        let mut entries = std::mem::take(&mut self.drain_scratch);
+        std::mem::swap(&mut entries, &mut self.tvn[level][index]);
         let drained = entries.len();
         let mut moved = 0u64;
-        for slot in entries {
+        for &slot in &entries {
             // Drop entries whose generation is stale (cancelled/moved).
-            if let Some(entry) = self.active.get(slot.id) {
-                if entry.generation == slot.generation {
-                    moved += 1;
-                    self.internal_add(slot.id, slot.generation, entry.expires);
-                }
+            if let Some(expires) = self.arena.expires_if_live(slot) {
+                moved += 1;
+                self.internal_add(slot, expires);
             }
         }
+        entries.clear();
+        self.drain_scratch = entries;
         if moved > 0 {
             self.cascade_moves.add(moved);
             sim::add(SimCounter::WheelCascades, moved);
@@ -167,46 +175,48 @@ impl HierarchicalWheel {
             }
         }
         self.current = tick;
-        let entries = std::mem::take(&mut self.tv1[index]);
+        let mut entries = std::mem::take(&mut self.drain_scratch);
+        std::mem::swap(&mut entries, &mut self.tv1[index]);
         // The slot mixes directly-inserted, cascaded and past-due entries,
         // whose list positions do not reflect the contract's (expiry,
         // insertion) order — a past-due timer lands *behind* entries armed
         // earlier for exactly this tick. Collect the live ones and sort;
         // the generation stamp is the global insertion sequence.
-        let mut due: Vec<(Tick, u64, TimerId)> = entries
-            .into_iter()
-            .filter_map(|slot| {
-                self.active
-                    .get(slot.id)
-                    .filter(|e| e.generation == slot.generation)
-                    .map(|e| (e.expires, slot.generation, slot.id))
-            })
-            .collect();
-        due.sort_unstable();
-        for (_, generation, id) in due {
-            if let Some(expires) = self.active.take_if_live(id, generation) {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        for &slot in &entries {
+            if let Some(expires) = self.arena.expires_if_live(slot) {
+                due.push((expires, slot.generation, slot));
+            }
+        }
+        entries.clear();
+        self.drain_scratch = entries;
+        due.sort_unstable_by_key(|&(expires, generation, _)| (expires, generation));
+        for &(_, _, slot) in &due {
+            if let Some((id, expires)) = self.arena.take_if_live(slot) {
                 fire(id, expires);
             }
         }
+        due.clear();
+        self.due_scratch = due;
     }
 }
 
 impl TimerQueue for HierarchicalWheel {
     fn schedule(&mut self, id: TimerId, expires: Tick) {
         let mut gen_counter = self.gen_counter;
-        let generation = self.active.arm(id, expires, &mut gen_counter);
+        let slot = self.arena.arm(id, expires, &mut gen_counter);
         self.gen_counter = gen_counter;
-        self.internal_add(id, generation, expires);
+        self.internal_add(slot, expires);
     }
 
     fn cancel(&mut self, id: TimerId) -> bool {
         // Lazy deletion: the slot entry stays behind but its generation is
         // now unreachable, so it is skipped (and dropped) when visited.
-        self.active.disarm(id)
+        self.arena.disarm(id)
     }
 
     fn is_pending(&self, id: TimerId) -> bool {
-        self.active.is_pending(id)
+        self.arena.is_pending(id)
     }
 
     fn advance_to(&mut self, now: Tick, fire: &mut dyn FnMut(TimerId, Tick)) {
@@ -221,15 +231,15 @@ impl TimerQueue for HierarchicalWheel {
     }
 
     fn next_expiry(&self) -> Option<Tick> {
-        self.active.min_expiry()
+        self.arena.min_expiry()
     }
 
     fn len(&self) -> usize {
-        self.active.len()
+        self.arena.len()
     }
 
     fn snapshot(&self) -> crate::api::QueueSnapshot {
-        self.active.snapshot_at(self.current, 0)
+        self.arena.snapshot_at(self.current)
     }
 }
 

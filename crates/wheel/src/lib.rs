@@ -31,6 +31,7 @@
 //! firing-order contract.
 
 pub mod api;
+pub mod arena;
 pub mod backend;
 pub mod hashed;
 pub mod heap;
@@ -40,6 +41,7 @@ pub mod snapshot;
 pub mod sortedlist;
 
 pub use api::{Tick, TimerId, TimerQueue};
+pub use arena::{NodeArena, NodeHandle};
 pub use backend::{Backend, InnerBackend};
 pub use hashed::HashedWheel;
 pub use heap::HeapQueue;

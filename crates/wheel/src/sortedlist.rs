@@ -2,23 +2,42 @@
 //!
 //! Early Unix kernels (including the 6th Edition code the paper cites as
 //! the unchanged ancestor of today's interfaces) kept pending timeouts in a
-//! single list sorted by expiry. Insertion is O(n), cancellation O(n), and
-//! expiry O(1) per fired timer. It is included as the baseline the timing
-//! wheels were invented to replace.
+//! single list sorted by expiry. Insertion is O(n), cancellation O(log n)
+//! plus the shift, and expiry is a batched prefix drain. It is included as
+//! the baseline the timing wheels were invented to replace.
+//!
+//! The list is *exact*: every mutation maintains full sorted order with no
+//! lazy deletion. Removals locate their entry by binary search on the full
+//! `(effective, expires, generation, id)` key (the armed key is remembered
+//! per timer), and `advance_to` drains the whole due prefix with one
+//! memmove instead of popping the front one timer at a time — the fix for
+//! the quadratic firing behaviour the `queue_mix/sortedlist` benchmark
+//! exposed.
+
+use std::collections::HashMap;
 
 use crate::api::{ActiveSet, Tick, TimerId, TimerQueue};
+
+/// Sort key of one entry: (effective fire tick, armed expiry, sequence,
+/// id). Carrying the armed expiry puts past-due timers ahead of timers
+/// armed exactly for their effective tick — the contract's (expiry,
+/// insertion) order.
+type Key = (Tick, Tick, u64, TimerId);
 
 /// A sorted-vector timer queue.
 #[derive(Debug, Default)]
 pub struct SortedList {
-    /// Entries sorted by (effective fire tick, armed expiry, sequence);
-    /// the front is the earliest. Carrying the armed expiry in the key
-    /// puts past-due timers ahead of timers armed exactly for their
-    /// effective tick — the contract's (expiry, insertion) order.
-    entries: Vec<(Tick, Tick, u64, TimerId)>,
+    /// Entries sorted ascending by [`Key`]; the front is the earliest.
+    entries: Vec<Key>,
+    /// The effective fire tick each pending timer was inserted under, so
+    /// re-arm and cancel can reconstruct the exact key for binary search
+    /// (the armed expiry and generation live in `active`).
+    effective: HashMap<TimerId, Tick>,
     active: ActiveSet,
     gen_counter: u64,
     current: Tick,
+    /// Reused drain buffer for advance_to's due prefix.
+    drain_scratch: Vec<Key>,
 }
 
 impl SortedList {
@@ -26,30 +45,47 @@ impl SortedList {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Removes `key` from the sorted vector if present (it is absent only
+    /// when the entry is mid-flight in a firing batch).
+    fn remove_key(&mut self, key: Key) {
+        let pos = self.entries.partition_point(|e| *e < key);
+        if self.entries.get(pos) == Some(&key) {
+            self.entries.remove(pos);
+        }
+    }
 }
 
 impl TimerQueue for SortedList {
     fn schedule(&mut self, id: TimerId, expires: Tick) {
-        // Eager removal of any previous entry: the list stays exact, which
-        // is what makes it O(n) and the honest baseline.
-        if self.active.is_pending(id) {
-            self.entries.retain(|&(_, _, _, eid)| eid != id);
+        // Eager removal of any previous entry keeps the list exact; the
+        // remembered key makes it a binary search, not a scan.
+        if let Some(old) = self.active.get(id) {
+            let old_effective = self.effective[&id];
+            self.remove_key((old_effective, old.expires, old.generation, id));
         }
         let mut gen_counter = self.gen_counter;
         let generation = self.active.arm(id, expires, &mut gen_counter);
         self.gen_counter = gen_counter;
         let effective = expires.max(self.current + 1);
+        self.effective.insert(id, effective);
         let key = (effective, expires, generation, id);
         let pos = self.entries.partition_point(|e| *e <= key);
         self.entries.insert(pos, key);
     }
 
     fn cancel(&mut self, id: TimerId) -> bool {
-        if self.active.disarm(id) {
-            self.entries.retain(|&(_, _, _, eid)| eid != id);
-            true
-        } else {
-            false
+        match self.active.get(id) {
+            Some(entry) => {
+                self.active.disarm(id);
+                let effective = self
+                    .effective
+                    .remove(&id)
+                    .expect("pending timer has a remembered key");
+                self.remove_key((effective, entry.expires, entry.generation, id));
+                true
+            }
+            None => false,
         }
     }
 
@@ -59,17 +95,24 @@ impl TimerQueue for SortedList {
 
     fn advance_to(&mut self, now: Tick, fire: &mut dyn FnMut(TimerId, Tick)) {
         self.current = now;
-        loop {
-            match self.entries.first() {
-                Some(&(tick, _, generation, id)) if tick <= now => {
-                    self.entries.remove(0);
-                    if let Some(expires) = self.active.take_if_live(id, generation) {
-                        fire(id, expires);
-                    }
-                }
-                _ => break,
+        let due = self.entries.partition_point(|e| e.0 <= now);
+        if due == 0 {
+            return;
+        }
+        // Drain the whole due prefix at once (one memmove), then fire in
+        // key order. Timers scheduled by firing callbacks get an effective
+        // tick past `now`, so a single drain is exhaustive; timers
+        // cancelled or re-armed by callbacks fail the liveness check.
+        let mut batch = std::mem::take(&mut self.drain_scratch);
+        batch.extend(self.entries.drain(..due));
+        for &(_, _, generation, id) in &batch {
+            if let Some(expires) = self.active.take_if_live(id, generation) {
+                self.effective.remove(&id);
+                fire(id, expires);
             }
         }
+        batch.clear();
+        self.drain_scratch = batch;
     }
 
     fn now(&self) -> Tick {
@@ -136,5 +179,30 @@ mod tests {
         }
         let ids: Vec<TimerId> = collect_fired(&mut w, 3).iter().map(|&(id, _)| id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancel_and_rearm_before_drain_stay_exact() {
+        let mut w = SortedList::new();
+        w.schedule(1, 10);
+        w.schedule(2, 11);
+        w.schedule(3, 12);
+        // Cancel and re-arm via the keyed binary-search removal path;
+        // neither the cancelled entry nor the superseded key may fire.
+        assert!(w.cancel(2));
+        w.schedule(3, 50);
+        assert_eq!(collect_fired(&mut w, 20), vec![(1, 10)]);
+        assert_eq!(collect_fired(&mut w, 50), vec![(3, 50)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_due_fires_next_advance_in_armed_order() {
+        let mut w = SortedList::new();
+        w.advance_to(100, &mut |_, _| {});
+        w.schedule(1, 40);
+        w.schedule(2, 30);
+        // Both past due: effective tick 101, ordered by armed expiry.
+        assert_eq!(collect_fired(&mut w, 101), vec![(2, 30), (1, 40)]);
     }
 }
